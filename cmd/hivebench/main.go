@@ -1,0 +1,203 @@
+// Command hivebench regenerates every table and figure of the paper's
+// evaluation and prints the measured values next to the published ones.
+//
+// Usage:
+//
+//	hivebench                 # everything, full Table 7.4 campaign
+//	hivebench -quick          # reduced fault-injection trial counts
+//	hivebench -only t72       # one experiment: careful41, rpc6, t52,
+//	                          # t72, t73, t74, fw42, traffic52, t81,
+//	                          # scalability, agreement, cowlookup,
+//	                          # sipsipi, fwgran, ccnow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fault-injection trial counts")
+	only := flag.String("only", "", "run a single experiment by id")
+	flag.Parse()
+
+	want := func(id string) bool { return *only == "" || *only == id }
+
+	if want("careful41") {
+		c := harness.RunCareful41()
+		tb := stats.NewTable("§4.1 — careful reference protocol vs RPC",
+			"operation", "paper", "measured")
+		tb.AddRow("careful_on → clock read → careful_off", "1.16 µs", harness.FormatUs(c.CarefulReadUs))
+		tb.AddRow("  of which remote cache miss", "0.70 µs", harness.FormatUs(c.MissShareUs))
+		tb.AddRow("null RPC alternative", "7.2 µs", harness.FormatUs(c.NullRPCUs))
+		fmt.Println(tb)
+	}
+
+	if want("rpc6") {
+		r := harness.RunRPC6()
+		tb := stats.NewTable("§6 — RPC subsystem latencies",
+			"operation", "paper", "measured")
+		tb.AddRow("null interrupt-level RPC", "7.2 µs", harness.FormatUs(r.NullUs))
+		tb.AddRow("common interrupt-level request (RPC component)", "9.6 µs", harness.FormatUs(r.RealUs))
+		tb.AddRow("request with >1 line of data (Table 5.2)", "17.3 µs", harness.FormatUs(r.OversizeUs))
+		tb.AddRow("null queued RPC", "34 µs", harness.FormatUs(r.QueuedUs))
+		fmt.Println(tb)
+	}
+
+	if want("t52") {
+		t52 := harness.RunTable52()
+		tb := stats.NewTable("Table 5.2 — remote page fault latency",
+			"quantity", "paper", "measured")
+		tb.AddRow("local page fault (cache hit)", "6.9 µs", harness.FormatUs(t52.LocalUs))
+		tb.AddRow("remote page fault (data-home cache hit)", "50.7 µs", harness.FormatUs(t52.RemoteUs))
+		fmt.Println(tb)
+		fmt.Println("component means (calibrated decomposition):")
+		fmt.Print(t52.Components.Format())
+		fmt.Println()
+	}
+
+	if want("t73") {
+		t73 := harness.RunTable73()
+		tb := stats.NewTable("Table 7.3 — local vs remote kernel operations",
+			"operation", "paper local", "measured local", "paper remote", "measured remote")
+		tb.AddRow("4 MB file read", "65.0 ms", harness.FormatMs(t73.Read4MBLocalMs), "76.2 ms", harness.FormatMs(t73.Read4MBRemoteMs))
+		tb.AddRow("4 MB file write/extend", "83.7 ms", harness.FormatMs(t73.Write4MBLocalMs), "87.3 ms", harness.FormatMs(t73.Write4MBRemoteMs))
+		tb.AddRow("open file", "148 µs", harness.FormatUs(t73.OpenLocalUs), "580 µs", harness.FormatUs(t73.OpenRemoteUs))
+		tb.AddRow("page fault hitting file cache", "6.9 µs", harness.FormatUs(t73.FaultLocalUs), "50.7 µs", harness.FormatUs(t73.FaultRemoteUs))
+		fmt.Println(tb)
+	}
+
+	if want("t72") {
+		rows := harness.RunTable72()
+		tb := stats.NewTable("Table 7.2 — workload timings on the 4-processor machine",
+			"workload", "IRIX (paper)", "IRIX (measured)", "1 cell", "2 cells", "4 cells")
+		paperBase := map[string]string{"ocean": "6.07 s", "raytrace": "4.35 s", "pmake": "5.77 s"}
+		paperSlow := map[string]string{"ocean": "1/1/-1 %", "raytrace": "0/0/1 %", "pmake": "1/10/11 %"}
+		for _, r := range rows {
+			tb.AddRow(r.Workload, paperBase[r.Workload], fmt.Sprintf("%.2f s", r.IRIXSec),
+				harness.FormatPct(r.Slowdown1), harness.FormatPct(r.Slowdown2), harness.FormatPct(r.Slowdown4))
+		}
+		fmt.Println(tb)
+		fmt.Println("paper slowdowns (1/2/4 cells):")
+		for w, s := range paperSlow {
+			fmt.Printf("  %-9s %s\n", w, s)
+		}
+		fmt.Println()
+	}
+
+	if want("fw42") {
+		fw := harness.RunFirewall42()
+		tb := stats.NewTable("§4.2 — firewall cost and management policy",
+			"quantity", "paper", "measured")
+		tb.AddRow("remote write miss latency increase", "+6.3 % (pmake)", harness.FormatPct(fw.WriteMissOverheadPct))
+		tb.AddRow("pmake: avg remotely-writable pages/cell", "15", fmt.Sprintf("%.1f", fw.PmakeAvgWritable))
+		tb.AddRow("pmake: max remotely-writable pages", "42 (/tmp server)", fmt.Sprintf("%.0f", fw.PmakeMaxWritable))
+		tb.AddRow("pmake: user pages per cell", "≈6000", fmt.Sprintf("%.0f", fw.PmakeUserPages))
+		tb.AddRow("ocean: avg remotely-writable pages/cell", "550", fmt.Sprintf("%.0f", fw.OceanAvgWritable))
+		fmt.Println(tb)
+	}
+
+	if want("traffic52") {
+		tr := harness.RunPmakeFaultTraffic()
+		tb := stats.NewTable("§5.2 — pmake page-cache fault traffic",
+			"quantity", "paper", "measured")
+		tb.AddRow("page-cache faults (1 cell)", "8935", fmt.Sprint(tr.Faults1Cell))
+		tb.AddRow("page-cache faults (4 cells)", "8935", fmt.Sprint(tr.Faults4Cell))
+		tb.AddRow("remote on 4 cells", "4946", fmt.Sprint(tr.Remote4Cell))
+		tb.AddRow("cumulative fault time (1 cell)", "117 ms", harness.FormatMs(tr.FaultMs1Cell))
+		tb.AddRow("cumulative fault time (4 cells)", "455 ms", harness.FormatMs(tr.FaultMs4Cell))
+		fmt.Println(tb)
+	}
+
+	if want("t74") {
+		scale := 1.0
+		if *quick {
+			scale = 0.2
+		}
+		rows := harness.RunTable74(scale)
+		fmt.Println(harness.FormatTable74(rows))
+		fmt.Println("paper: avg/max detect (ms) = 16/21, 10/11, 21/45, 38/65, 401/760; recovery 40-80 ms; all contained")
+		fmt.Println()
+	}
+
+	if want("t81") {
+		hw := harness.RunHardware81()
+		tb := stats.NewTable("Table 8.1 — custom hardware features",
+			"feature", "functional")
+		tb.AddRow("firewall (per-page write permission bit-vector)", fmt.Sprint(hw.Firewall))
+		tb.AddRow("memory fault model (bus errors, no stalls)", fmt.Sprint(hw.FaultModel))
+		tb.AddRow("remap region (node-private trap vectors)", fmt.Sprint(hw.RemapRegion))
+		tb.AddRow("SIPS (short interprocessor send)", fmt.Sprint(hw.SIPS))
+		tb.AddRow("memory cutoff (panic isolation)", fmt.Sprint(hw.Cutoff))
+		fmt.Println(tb)
+	}
+
+	if want("scalability") {
+		points := harness.RunScalability([]int{1, 2, 4, 8, 16})
+		tb := stats.NewTable("§1 ablation — shared-everything SMP OS vs multicellular Hive (kernel ops completed)",
+			"CPUs", "SMP OS", "Hive (1 cell/CPU)", "Hive/SMP")
+		for _, p := range points {
+			tb.AddRow(fmt.Sprint(p.CPUs), fmt.Sprint(p.SMPOps), fmt.Sprint(p.HiveOps),
+				fmt.Sprintf("%.2fx", float64(p.HiveOps)/float64(p.SMPOps)))
+		}
+		fmt.Println(tb)
+	}
+
+	if want("cowlookup") {
+		c := harness.RunCOWLookupComparison()
+		tb := stats.NewTable("§5.3 ablation — COW search: shared memory vs conventional RPC",
+			"quantity", "shared memory", "RPC walk")
+		tb.AddRow("cross-cell lookup (hit at root)", harness.FormatUs(c.SharedMemUs), harness.FormatUs(c.RPCUs))
+		tb.AddRow("end-to-end touch (lookup + bind + access)", harness.FormatUs(c.TouchSMUs), harness.FormatUs(c.TouchRPCUs))
+		fmt.Println(tb)
+		fmt.Println(`paper: "A more conventional RPC-based approach would be simpler and`)
+		fmt.Println(` probably just as fast" — the bind RPC dominates either way.`)
+		fmt.Println()
+	}
+
+	if want("sipsipi") {
+		c := harness.RunSIPSvsIPI()
+		tb := stats.NewTable("§6 ablation — SIPS vs RPC layered on bare IPIs",
+			"path", "round trip")
+		tb.AddRow("SIPS (hardware message support)", harness.FormatUs(c.SIPSUs))
+		tb.AddRow("IPI + polled per-sender shared-memory queues", harness.FormatUs(c.IPIUs))
+		fmt.Println(tb)
+	}
+
+	if want("fwgran") {
+		bv, sb := harness.RunFirewallGranularity()
+		tb := stats.NewTable("§4.2 ablation — firewall representation (wild writes blocked, 384 issued)",
+			"design", "blocked")
+		tb.AddRow("bit vector per page (FLASH)", fmt.Sprint(bv))
+		tb.AddRow("single bit per page (rejected: global grant)", fmt.Sprint(sb))
+		fmt.Println(tb)
+	}
+
+	if want("ccnow") {
+		c := harness.RunCCNOW()
+		tb := stats.NewTable("§8 — CC-NOW: Hive on a cache-coherent network of workstations (5 µs link)",
+			"quantity", "measured")
+		tb.AddRow("local page fault (unchanged)", harness.FormatUs(c.FaultLocalUs))
+		tb.AddRow("remote page fault over the NOW link", harness.FormatUs(c.FaultRemoteUs))
+		tb.AddRow("failure detection", harness.FormatMs(c.DetectMs))
+		tb.AddRow("containment", fmt.Sprint(c.Contained))
+		fmt.Println(tb)
+	}
+
+	if want("agreement") {
+		ac := harness.RunAgreementComparison()
+		tb := stats.NewTable("§4.3 ablation — agreement oracle vs real voting protocol",
+			"mode", "detection (ms)", "confirmed")
+		tb.AddRow("oracle (paper's configuration)", fmt.Sprintf("%.1f", ac.OracleDetectMs), "true")
+		tb.AddRow("voting protocol", fmt.Sprintf("%.1f", ac.VoteDetectMs), fmt.Sprint(ac.VoteOK))
+		fmt.Println(tb)
+	}
+
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Println("All numbers are from the deterministic FLASH/Hive simulation;")
+	fmt.Println("see EXPERIMENTS.md for the shape criteria and known deviations.")
+}

@@ -1,0 +1,58 @@
+// CC-NOW: §8 proposes Hive as "a natural starting point for a CC-NOW
+// operating system" — a cache-coherent network of workstations with the
+// fault isolation of a cluster and the resource sharing of a
+// multiprocessor. This example boots the same Hive over a 5 µs
+// network-class interconnect instead of FLASH's 700 ns mesh, shares memory
+// across the "workstations", fails one, and shows containment is
+// unaffected while remote-operation latency stretches with the link.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Machine.RemoteMissNs = 5 * sim.Microsecond // LAN-attached memory
+	cfg.Mounts = nil
+	h := core.Boot(cfg)
+	fmt.Printf("booted %d workstation-cells over a %v link\n",
+		len(h.Cells), cfg.Machine.RemoteMissNs)
+
+	// Share a file page across the network.
+	done := false
+	h.Cells[0].Procs.Spawn("sharer", 1, func(p *proc.Process, t *sim.Task) {
+		defer func() { done = true }()
+		hd, err := h.Cells[3].FS.Create(t, "/shared/doc")
+		if err != nil {
+			return
+		}
+		h.Cells[3].FS.Write(t, hd, 4, 9)
+		lp := vm.LogicalPage{Obj: vm.ObjID{Kind: vm.FileObj, Home: 3, Num: uint64(hd.Key.ID)}}
+		start := t.Now()
+		if _, err := p.MapShared(t, lp, true); err != nil {
+			fmt.Println("map failed:", err)
+			return
+		}
+		fmt.Printf("cross-workstation write mapping established in %v\n", t.Now()-start)
+	})
+	h.RunUntil(func() bool { return done }, 10*sim.Second)
+
+	// A workstation dies; the rest of the "cluster" carries on.
+	at := h.Now()
+	fmt.Printf("[%v] workstation 3 fails\n", at)
+	h.Cells[3].FailHardware()
+	h.RunUntil(func() bool { return h.Coord.LiveCount() == 3 }, 10*sim.Second)
+	fmt.Printf("detected and recovered %.1f ms later; %d workstations live\n",
+		(h.Coord.LastDetectAt - at).Millis(), h.Coord.LiveCount())
+	if bad := h.CheckInvariants(); len(bad) == 0 {
+		fmt.Println("cross-cell kernel state audits clean")
+	} else {
+		fmt.Println("INVARIANT VIOLATIONS:", bad)
+	}
+}

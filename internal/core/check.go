@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// CheckInvariants audits the cross-cell consistency of the memory-sharing
+// state machines — the fsck of the multicellular kernel. It returns one
+// message per violation (empty = clean). Only live cells are audited;
+// state referring to failed cells is exempt where recovery legitimately
+// leaves it asymmetric.
+//
+// Invariants checked:
+//
+//  1. Hash/frames coherence: every page-cache entry is Valid and its frame
+//     record points back at the same pfdat; reference counts are
+//     non-negative.
+//  2. Free-pool hygiene: free frames are not Valid, not loaned, and appear
+//     at most once.
+//  3. Ownership: every frame is controlled by exactly one live cell — its
+//     home, or the borrower it is loaned to.
+//  4. Export/import symmetry: an import recorded at a live client has a
+//     matching export record at the data home, and vice versa.
+//  5. Firewall soundness: a local frame writable by a remote live cell is
+//     either exported writable to that cell or loaned to it.
+func (h *Hive) CheckInvariants() []string {
+	var bad []string
+	report := func(format string, args ...any) {
+		bad = append(bad, fmt.Sprintf(format, args...))
+	}
+	live := func(c int) bool { return c >= 0 && c < len(h.Cells) && !h.Cells[c].Failed() }
+
+	controller := make(map[machine.PageNum]int)
+	for _, c := range h.LiveCells() {
+		v := c.VM
+
+		// 1. Hash/frames coherence.
+		for lp, pf := range v.Hash() {
+			if !pf.Valid {
+				report("cell%d: hash entry %v not Valid", c.ID, lp)
+			}
+			if pf.LP != lp {
+				report("cell%d: hash entry %v binds pfdat labelled %v", c.ID, lp, pf.LP)
+			}
+			if got, ok := v.PfdatFor(pf.Frame); !ok || got != pf {
+				report("cell%d: frame %d record does not match hash entry %v", c.ID, pf.Frame, lp)
+			}
+			if pf.Refs < 0 {
+				report("cell%d: %v has negative refs %d", c.ID, lp, pf.Refs)
+			}
+		}
+
+		// 2. Free-pool hygiene.
+		seen := map[machine.PageNum]bool{}
+		for _, f := range v.FreeList() {
+			if seen[f] {
+				report("cell%d: frame %d appears twice in the free pool", c.ID, f)
+			}
+			seen[f] = true
+			pf, ok := v.PfdatFor(f)
+			if !ok {
+				report("cell%d: free frame %d has no pfdat", c.ID, f)
+				continue
+			}
+			if pf.Valid {
+				report("cell%d: free frame %d still bound to %v", c.ID, f, pf.LP)
+			}
+			if pf.LoanedTo >= 0 {
+				report("cell%d: free frame %d is marked loaned to %d", c.ID, f, pf.LoanedTo)
+			}
+		}
+
+		// 3. Ownership claims (resolved after the loop).
+		for f, pf := range v.FramesOfCell() {
+			owner := h.CellOfNode[h.M.HomeNode(f)]
+			claims := owner == c.ID && pf.LoanedTo < 0 ||
+				pf.BorrowedFrom >= 0 // borrower's claim
+			if !claims {
+				continue
+			}
+			if prev, dup := controller[f]; dup && prev != c.ID {
+				report("frame %d controlled by both cell%d and cell%d", f, prev, c.ID)
+			}
+			controller[f] = c.ID
+		}
+	}
+
+	// 4. Export/import symmetry among live cells.
+	for _, c := range h.LiveCells() {
+		for lp, pf := range c.VM.Hash() {
+			if pf.ImportedFrom >= 0 && live(pf.ImportedFrom) {
+				home := h.Cells[pf.ImportedFrom].VM
+				hpf, ok := home.Lookup(lp)
+				if !ok || !hpf.ExportedTo(c.ID) {
+					report("cell%d imports %v from cell%d, which has no export record",
+						c.ID, lp, pf.ImportedFrom)
+				}
+			}
+			for client := range pf.Exports() {
+				if !live(client) {
+					report("cell%d still exports %v to dead cell%d", c.ID, lp, client)
+					continue
+				}
+				cpf, ok := h.Cells[client].VM.Lookup(lp)
+				if !ok || cpf.ImportedFrom != c.ID {
+					report("cell%d exports %v to cell%d, which has no import record",
+						c.ID, lp, client)
+				}
+			}
+		}
+	}
+
+	// 5. Firewall soundness for live cells' local frames.
+	for _, c := range h.LiveCells() {
+		for f, pf := range c.VM.FramesOfCell() {
+			if h.CellOfNode[h.M.HomeNode(f)] != c.ID {
+				continue
+			}
+			fw := h.M.Firewall(f)
+			for other := range h.Cells {
+				if other == c.ID || !live(other) {
+					continue
+				}
+				mask := h.M.NodeProcMask(h.Cells[other].Nodes[0])
+				for _, n := range h.Cells[other].Nodes {
+					mask |= h.M.NodeProcMask(n)
+				}
+				if fw&mask == 0 {
+					continue // not writable by that cell
+				}
+				if !pf.WritableBy(other) && pf.LoanedTo != other {
+					report("cell%d frame %d writable by cell%d without export or loan",
+						c.ID, f, other)
+				}
+			}
+		}
+	}
+	return bad
+}

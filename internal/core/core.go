@@ -1,0 +1,475 @@
+// Package core assembles the Hive multicellular kernel — the paper's
+// primary contribution. A Hive is an internal distributed system of
+// independent kernels (cells), each owning a range of nodes of the FLASH
+// machine and running its own virtual memory system, file system,
+// copy-on-write manager, process table, scheduler, RPC endpoint, and
+// failure monitor. The cells cooperate to present a single-system image
+// while containing the effects of hardware and software faults to the cell
+// where they occur.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/careful"
+	"repro/internal/cow"
+	"repro/internal/fs"
+	"repro/internal/kmem"
+	"repro/internal/machine"
+	"repro/internal/membership"
+	"repro/internal/proc"
+	"repro/internal/rpc"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// Config describes a Hive boot.
+type Config struct {
+	Machine machine.Config
+	// Cells is the number of cells; the machine's nodes are divided
+	// evenly among them (Figure 3.1). Must divide Machine.Nodes.
+	Cells int
+	// Agreement selects oracle (the paper's configuration) or the real
+	// voting protocol.
+	Agreement membership.AgreementMode
+	// AutoReintegrate lets the recovery master reboot repaired cells.
+	AutoReintegrate bool
+	// KernelPagesPerNode are reserved for each cell's kernel (never
+	// shared or loaned). Defaults to 1/4 of each node's pages, leaving
+	// ≈6000 user pages per 32 MB node as in §4.2.
+	KernelPagesPerNode int
+	// Mounts places file-system subtrees on data-home cells.
+	Mounts []fs.Mount
+	// RPCServerPool sizes each cell's queued-RPC server pool.
+	RPCServerPool int
+	// ClockCheckEvery is the neighbour clock-check period in ticks
+	// (0 = membership.DefaultCheckEvery). The §4.3 frequency/
+	// vulnerability tradeoff knob.
+	ClockCheckEvery int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultConfig is the paper's evaluation machine split into 4 cells with
+// /tmp homed on the last cell (the pmake file server).
+func DefaultConfig() Config {
+	return Config{
+		Machine:       machine.DefaultConfig(),
+		Cells:         4,
+		Agreement:     membership.Oracle,
+		Mounts:        []fs.Mount{{Prefix: "/tmp", Cell: 3}},
+		RPCServerPool: 4,
+		Seed:          1995,
+	}
+}
+
+// Hive is a booted system.
+type Hive struct {
+	Cfg   Config
+	Eng   *sim.Engine
+	M     *machine.Machine
+	Space *kmem.Space
+	Coord *membership.Coordinator
+	Cells []*Cell
+
+	// Trace is the machine-wide forensic event buffer (hints, alerts,
+	// recovery transitions, panics) — the post-fault analysis aid §7.4
+	// credits deterministic simulation with enabling.
+	Trace *trace.Ring
+
+	// CellOfNode maps node -> owning cell.
+	CellOfNode []int
+}
+
+// Cell is one independent kernel.
+type Cell struct {
+	ID    int
+	Hive  *Hive
+	Nodes []int
+
+	EP        *rpc.Endpoint
+	VM        *vm.VM
+	FS        *fs.FS
+	COW       *cow.Manager
+	Procs     *proc.Table
+	Sched     *sched.Scheduler
+	Mon       *membership.Monitor
+	Reader    *careful.Reader
+	ClockHand *vm.ClockHand
+
+	failed  bool // fail-stop or forced stop
+	corrupt bool // software-corrupted (fault injection ground truth)
+
+	Metrics *stats.Registry
+}
+
+// Boot builds and starts a Hive.
+func Boot(cfg Config) *Hive {
+	if cfg.Cells <= 0 || cfg.Machine.Nodes%cfg.Cells != 0 {
+		panic("core: cell count must divide node count")
+	}
+	if cfg.RPCServerPool == 0 {
+		cfg.RPCServerPool = 4
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	m := machine.New(eng, cfg.Machine)
+	if cfg.KernelPagesPerNode == 0 {
+		cfg.KernelPagesPerNode = m.PagesPerNode / 4
+	}
+	h := &Hive{
+		Cfg:   cfg,
+		Eng:   eng,
+		M:     m,
+		Space: kmem.NewSpace(cfg.Cells),
+		Coord: membership.NewCoordinator(cfg.Cells, nodePartition(cfg.Machine.Nodes, cfg.Cells), cfg.Agreement),
+	}
+	h.Trace = trace.NewRing(4096)
+	h.Coord.AutoReintegrate = cfg.AutoReintegrate
+	h.Coord.BrokenHardware = map[int]bool{}
+	h.CellOfNode = make([]int, cfg.Machine.Nodes)
+	nodesPerCell := cfg.Machine.Nodes / cfg.Cells
+	for n := range h.CellOfNode {
+		h.CellOfNode[n] = n / nodesPerCell
+	}
+
+	for c := 0; c < cfg.Cells; c++ {
+		h.Cells = append(h.Cells, h.bootCell(c))
+	}
+	rpc.Connect(endpoints(h.Cells)...)
+	tables := make([]*proc.Table, len(h.Cells))
+	for i, c := range h.Cells {
+		tables[i] = c.Procs
+	}
+	proc.ConnectTables(tables...)
+	h.Coord.OracleFailed = func(cell int) bool {
+		return h.Cells[cell].ActuallyFailed()
+	}
+	h.Coord.OnDeclaredDead = func(cell int) {
+		h.Cells[cell].ForceStop("declared dead by agreement")
+	}
+	for _, c := range h.Cells {
+		c.Mon.Start()
+	}
+	return h
+}
+
+func nodePartition(nodes, cells int) [][]int {
+	per := nodes / cells
+	out := make([][]int, cells)
+	for c := 0; c < cells; c++ {
+		for i := 0; i < per; i++ {
+			out[c] = append(out[c], c*per+i)
+		}
+	}
+	return out
+}
+
+func endpoints(cells []*Cell) []*rpc.Endpoint {
+	eps := make([]*rpc.Endpoint, len(cells))
+	for i, c := range cells {
+		eps[i] = c.EP
+	}
+	return eps
+}
+
+// bootCell assembles one cell's kernel.
+func (h *Hive) bootCell(id int) *Cell {
+	nodesPerCell := h.Cfg.Machine.Nodes / h.Cfg.Cells
+	var nodes []int
+	var procs []*machine.Processor
+	for i := 0; i < nodesPerCell; i++ {
+		n := id*nodesPerCell + i
+		nodes = append(nodes, n)
+		procs = append(procs, h.M.Nodes[n].Procs...)
+	}
+	c := &Cell{ID: id, Hive: h, Nodes: nodes, Metrics: stats.NewRegistry()}
+
+	// Kernel memory arena with fault-model access semantics.
+	arena := h.Space.Arena(id)
+	arena.Accessible = func() error {
+		if c.failed || h.M.Nodes[nodes[0]].Failed() || h.M.Nodes[nodes[0]].CutOff() {
+			return kmem.ErrBusError
+		}
+		return nil
+	}
+
+	// Boot firewall: every processor of the cell may write every page of
+	// the cell; nothing outside it may (§4.2's group-grant policy).
+	var cellMask uint64
+	for _, n := range nodes {
+		cellMask |= h.M.NodeProcMask(n)
+	}
+	for _, n := range nodes {
+		lo, hi := h.M.NodePages(n)
+		for p := lo; p < hi; p++ {
+			h.M.BootFirewall(p, cellMask)
+		}
+	}
+
+	c.EP = rpc.NewEndpoint(h.M, id, procs, h.Cfg.RPCServerPool)
+	c.VM = vm.New(h.M, c.EP, id, nodes, h.CellOfNode, h.Cfg.KernelPagesPerNode)
+	c.FS = fs.New(h.M, c.EP, c.VM, id, h.Cfg.Mounts, h.M.Nodes[nodes[0]].Disk)
+	c.Sched = sched.New(id, procs)
+	c.Reader = &careful.Reader{M: h.M, Space: h.Space}
+	c.COW = cow.New(h.M, c.EP, c.VM, h.Space, c.Reader, id)
+	c.Procs = proc.NewTable(id, h.Cfg.Cells, c.EP, c.Sched, c.FS, c.COW, c.VM)
+	c.Mon = membership.NewMonitor(h.M, c.EP, h.Coord, id, nodes)
+	c.Mon.CheckEvery = h.Cfg.ClockCheckEvery
+
+	// A cell that finds its own kernel data corrupt panics (§4.1).
+	c.COW.OnLocalDamage = func(reason string) {
+		c.Panic("kernel data corruption: " + reason)
+	}
+
+	// The page-out daemon (§5.7/Table 3.4); Wax steers its preferences.
+	// File pages write back through the file system, anonymous pages to
+	// the swap partition (a reserved area at the end of the local disk).
+	c.COW.EnableSwap(h.M.Nodes[nodes[0]].Disk, 1<<30)
+	c.ClockHand = c.VM.StartClockHand(func(t *sim.Task, lp vm.LogicalPage) bool {
+		if lp.Obj.Kind == vm.AnonObj {
+			return c.COW.SwapOut(t, lp)
+		}
+		return c.FS.WritebackPage(t, lp)
+	})
+
+	// Wire failure hints from every detector into the monitor, recording
+	// each in the forensic trace.
+	hint := func(suspect int, reason string) {
+		h.Trace.Record(h.Eng.Now(), id, trace.Hint, "suspect cell %d: %s", suspect, reason)
+		c.Mon.Hint(suspect, reason)
+	}
+	c.EP.HintSink = hint
+	c.Reader.HintSink = hint
+
+	// Clock monitoring reads the neighbour's clock word under the
+	// careful reference protocol (§4.3).
+	c.Mon.ReadNeighborClock = func(t *sim.Task, cell int) (uint64, error) {
+		p := c.liveProc()
+		ctx := c.Reader.On(t, p, cell)
+		v := ctx.ReadClock(h.Coord.Monitors()[cell].NodeIDs[0])
+		if err := ctx.Off(); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+
+	c.Mon.Hooks = membership.Hooks{
+		SuspendUser: c.Sched.Freeze,
+		ResumeUser:  c.Sched.Thaw,
+		Phase1: func(t *sim.Task) {
+			h.Trace.Record(h.Eng.Now(), id, trace.Recovery, "phase 1 (TLB flush, unmap)")
+			c.VM.RecoveryPhase1(t)
+		},
+		Phase2: func(t *sim.Task, failed map[int]bool) int {
+			n := c.VM.RecoveryPhase2(t, failed)
+			h.Trace.Record(h.Eng.Now(), id, trace.Recovery, "phase 2: %d pages discarded", n)
+			if n > 0 {
+				h.Trace.Record(h.Eng.Now(), id, trace.Discard, "%d pages writable by failed cells", n)
+			}
+			return n
+		},
+		Finish: c.VM.RecoveryFinish,
+		KillDependents: func(failed map[int]bool) int {
+			n := c.Procs.KillDependents(failed)
+			if n > 0 {
+				h.Trace.Record(h.Eng.Now(), id, trace.Kill, "%d dependent processes killed", n)
+			}
+			return n
+		},
+		Panic: c.Panic,
+		Reintegrate: func(cell int) {
+			c.VM.DropPeerState(cell)
+		},
+	}
+	return c
+}
+
+// liveProc returns a non-halted processor of the cell.
+func (c *Cell) liveProc() *machine.Processor {
+	for _, n := range c.Nodes {
+		for _, p := range c.Hive.M.Nodes[n].Procs {
+			if !p.Halted() {
+				return p
+			}
+		}
+	}
+	return c.Hive.M.Nodes[c.Nodes[0]].Procs[0]
+}
+
+// ActuallyFailed is the agreement oracle's ground truth for this cell.
+func (c *Cell) ActuallyFailed() bool {
+	if c.failed || c.corrupt {
+		return true
+	}
+	for _, n := range c.Nodes {
+		if c.Hive.M.Nodes[n].Failed() {
+			return true
+		}
+	}
+	return false
+}
+
+// Failed reports whether the cell has stopped (fault or forced).
+func (c *Cell) Failed() bool { return c.failed }
+
+// MarkCorrupt flags the cell as software-corrupted; the oracle confirms
+// alerts about it (the injected-bug ground truth of §7.4).
+func (c *Cell) MarkCorrupt() { c.corrupt = true }
+
+// FailHardware injects a fail-stop hardware fault: every node of the cell
+// halts and its memory becomes inaccessible (§7.4's hardware fault
+// injection). Survivor detection happens through the normal hint channels.
+func (c *Cell) FailHardware() {
+	c.failed = true
+	c.Hive.Trace.Record(c.Hive.Eng.Now(), c.ID, trace.Panic, "fail-stop hardware fault injected")
+	for _, n := range c.Nodes {
+		c.Hive.M.Nodes[n].FailStop()
+	}
+	c.shutdownKernel()
+	// If the cell was a member of an in-flight recovery round, the
+	// barriers must stop waiting for it.
+	c.Hive.Coord.CellDiedMidRound(c.ID)
+}
+
+// Panic is the software crash path: the cell stops itself, engaging the
+// memory cutoff so potentially corrupt data cannot spread (Table 8.1).
+// The teardown runs from engine context so a kernel task may panic its own
+// cell and unwind cleanly.
+func (c *Cell) Panic(reason string) {
+	if c.failed {
+		return
+	}
+	c.failed = true
+	c.Hive.Trace.Record(c.Hive.Eng.Now(), c.ID, trace.Panic, "%s", reason)
+	c.Metrics.Counter("cell.panics").Inc()
+	for _, n := range c.Nodes {
+		c.Hive.M.Nodes[n].EngageCutoff()
+	}
+	c.Hive.Eng.At(c.Hive.Eng.Now(), func() {
+		c.shutdownKernel()
+		c.Hive.Coord.CellDiedMidRound(c.ID)
+	})
+}
+
+// ForceStop implements the consensus-gated stop of a cell the survivors
+// declared dead (the "reboot" of §4.3): processes killed, services down,
+// memory cut off.
+func (c *Cell) ForceStop(reason string) {
+	if c.failed {
+		return
+	}
+	c.failed = true
+	for _, n := range c.Nodes {
+		c.Hive.M.Nodes[n].EngageCutoff()
+	}
+	c.shutdownKernel()
+	c.Hive.Coord.CellDiedMidRound(c.ID)
+}
+
+// shutdownKernel kills processes and stops services.
+func (c *Cell) shutdownKernel() {
+	c.Procs.KillAll()
+	c.EP.Shutdown()
+	c.Mon.Stop()
+}
+
+// Reboot restores a stopped cell to service with a fresh kernel state
+// (reintegration, §4.3). The hardware must already be repaired.
+func (c *Cell) Reboot() {
+	for _, n := range c.Nodes {
+		c.Hive.M.Nodes[n].Repair()
+	}
+	fresh := c.Hive.bootCell(c.ID)
+	*c = *fresh
+	rpc.Connect(endpoints(c.Hive.Cells)...)
+	c.Hive.Coord.Reintegrate(c.ID)
+	c.Mon.Start()
+	for _, peer := range c.Hive.Cells {
+		if peer.ID != c.ID && !peer.Failed() {
+			peer.VM.DropPeerState(c.ID)
+		}
+	}
+}
+
+// Now returns the current virtual time.
+func (h *Hive) Now() sim.Time { return h.Eng.Now() }
+
+// Run advances the simulation to the given deadline (0 = until idle).
+// Note: the cells' clock tasks tick forever, so a deadline is required for
+// a booted Hive.
+func (h *Hive) Run(deadline sim.Time) sim.Time { return h.Eng.Run(deadline) }
+
+// RunUntil advances simulation in 1 ms steps until cond holds or the
+// deadline passes, reporting whether cond held.
+func (h *Hive) RunUntil(cond func() bool, deadline sim.Time) bool {
+	for h.Eng.Now() < deadline {
+		if cond() {
+			return true
+		}
+		h.Eng.Run(h.Eng.Now() + sim.Millisecond)
+	}
+	return cond()
+}
+
+// LiveCells returns the cells not failed.
+func (h *Hive) LiveCells() []*Cell {
+	var out []*Cell
+	for _, c := range h.Cells {
+		if !c.failed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CellName labels a cell for diagnostics.
+func (c *Cell) String() string { return fmt.Sprintf("cell%d(nodes %v)", c.ID, c.Nodes) }
+
+// Wax hint intake. Each cell protects itself by sanity-checking the inputs
+// it receives from Wax (§3.2): a damaged Wax may cost performance, never
+// correctness.
+
+// ApplyAllocTargets installs Wax's page-allocation borrow targets after
+// validating them (live, distinct, not self, bounded count).
+func (c *Cell) ApplyAllocTargets(targets []int) error {
+	if len(targets) > len(c.Hive.Cells) {
+		return fmt.Errorf("core: hint rejected: %d targets", len(targets))
+	}
+	seen := map[int]bool{}
+	for _, tc := range targets {
+		if tc < 0 || tc >= len(c.Hive.Cells) || tc == c.ID || seen[tc] || c.Hive.Cells[tc].Failed() {
+			c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+			return fmt.Errorf("core: hint rejected: bad target %d", tc)
+		}
+		seen[tc] = true
+	}
+	c.VM.AllocTargets = append([]int(nil), targets...)
+	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	return nil
+}
+
+// ApplyClockHand asks this cell's clock hand to preferentially free pages
+// whose memory home is the pressured cell; it reports whether any idle
+// borrowed frames were returned.
+func (c *Cell) ApplyClockHand(t *sim.Task, pressuredHome int) bool {
+	if pressuredHome < 0 || pressuredHome >= len(c.Hive.Cells) ||
+		pressuredHome == c.ID || c.Hive.Cells[pressuredHome].Failed() {
+		c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+		return false
+	}
+	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	return c.VM.ReturnUnusedBorrows(t, pressuredHome) > 0
+}
+
+// ApplyGang space-shares n processors per Wax's gang-scheduling hint.
+func (c *Cell) ApplyGang(n int) bool {
+	if n < 0 || n >= len(c.Sched.Procs) {
+		c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+		return false
+	}
+	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	return c.Sched.Reserve(n)
+}

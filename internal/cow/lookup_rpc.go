@@ -1,0 +1,176 @@
+package cow
+
+import (
+	"fmt"
+
+	"repro/internal/kmem"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// The §5.3 ablation. The paper built the distributed COW tree as an
+// experiment in shared-memory kernel data structures and concluded:
+// "A more conventional RPC-based approach would be simpler and probably
+// just as fast, at least for the workloads we evaluated." This file
+// implements that conventional approach so the claim can be measured:
+// instead of careful remote reads, the searching cell asks each remote
+// cell (by RPC) to walk its own local portion of the tree.
+
+// LookupMode selects the cross-cell search implementation.
+type LookupMode int
+
+const (
+	// SharedMemory walks remote nodes directly with the careful
+	// reference protocol (the paper's implementation).
+	SharedMemory LookupMode = iota
+	// RPCWalk sends a lookup RPC to each remote cell, which walks its
+	// local chain (the conventional alternative).
+	RPCWalk
+)
+
+// ProcTreeLookup is the RPC-walk service (range 140-159).
+const ProcTreeLookup rpc.ProcID = 141
+
+// treeLookupArgs asks a cell to search its local chain from Start.
+type treeLookupArgs struct {
+	Start kmem.Addr
+	Off   int64
+}
+
+// treeLookupReply reports the outcome: the holding node, or the first
+// pointer leaving the serving cell (NilAddr when the chain ends).
+type treeLookupReply struct {
+	Found bool
+	Node  kmem.Addr
+	Next  kmem.Addr
+}
+
+// LookupVia performs Lookup under an explicit mode (the Manager's Mode
+// field selects the default used by Touch).
+func (mg *Manager) LookupVia(t *sim.Task, mode LookupMode, leaf kmem.Addr, off int64) (kmem.Addr, bool, error) {
+	if mode == SharedMemory {
+		return mg.Lookup(t, leaf, off)
+	}
+	return mg.lookupRPC(t, leaf, off)
+}
+
+// lookupRPC is the conventional implementation: local walking plus one RPC
+// per remote cell visited.
+func (mg *Manager) lookupRPC(t *sim.Task, leaf kmem.Addr, off int64) (kmem.Addr, bool, error) {
+	cur := leaf
+	for hops := 0; hops < MaxDepth && cur != kmem.NilAddr; hops++ {
+		if cur.Cell() == mg.CellID {
+			node, found, next, err := mg.walkLocal(t, cur, off)
+			if err != nil {
+				mg.localDamage(err.Error())
+				return 0, false, err
+			}
+			if found {
+				return node, true, nil
+			}
+			cur = next
+			continue
+		}
+		res, err := mg.EP.Call(t, mg.proc(), cur.Cell(), ProcTreeLookup,
+			&treeLookupArgs{Start: cur, Off: off}, rpc.CallOpts{DataBytes: 24})
+		if err != nil {
+			return 0, false, fmt.Errorf("%w: lookup RPC: %v", ErrTreeDamaged, err)
+		}
+		rep, ok := res.(*treeLookupReply)
+		if !ok {
+			return 0, false, fmt.Errorf("%w: bad lookup reply", ErrTreeDamaged)
+		}
+		// Sanity-check the reply as message data (§3.1): a found node
+		// must belong to the serving cell.
+		if rep.Found && rep.Node.Cell() != cur.Cell() {
+			return 0, false, fmt.Errorf("%w: reply node %v not on cell %d",
+				ErrTreeDamaged, rep.Node, cur.Cell())
+		}
+		if rep.Found {
+			return rep.Node, true, nil
+		}
+		if rep.Next != kmem.NilAddr && rep.Next.Cell() == cur.Cell() {
+			return 0, false, fmt.Errorf("%w: server returned non-progressing next", ErrTreeDamaged)
+		}
+		cur = rep.Next
+	}
+	if cur != kmem.NilAddr {
+		return 0, false, fmt.Errorf("%w: RPC walk exceeded hop bound", ErrTreeDamaged)
+	}
+	return 0, false, nil
+}
+
+// walkLocal searches this cell's chain from start, stopping at the first
+// pointer that leaves the cell.
+func (mg *Manager) walkLocal(t *sim.Task, start kmem.Addr, off int64) (node kmem.Addr, found bool, next kmem.Addr, err error) {
+	a := mg.arena()
+	cur := start
+	for depth := 0; depth < MaxDepth && cur != kmem.NilAddr && cur.Cell() == mg.CellID; depth++ {
+		mg.proc().Use(t, localVisit)
+		tag, terr := a.TagAt(cur)
+		if terr != nil || tag != TagNode {
+			return 0, false, 0, fmt.Errorf("%w: node %v bad tag", ErrTreeDamaged, cur)
+		}
+		count, _ := a.ReadWord(cur, wordCount)
+		if int(count) > MaxEntries {
+			return 0, false, 0, fmt.Errorf("%w: node %v bad count", ErrTreeDamaged, cur)
+		}
+		for i := 0; i < int(count); i++ {
+			v, _ := a.ReadWord(cur, wordPages+i)
+			if int64(v) == off {
+				return cur, true, 0, nil
+			}
+		}
+		parent, _ := a.ReadWord(cur, wordParent)
+		cur = kmem.Addr(parent)
+	}
+	if cur != kmem.NilAddr && cur.Cell() == mg.CellID {
+		return 0, false, 0, fmt.Errorf("%w: local walk exceeded depth bound", ErrTreeDamaged)
+	}
+	return 0, false, cur, nil
+}
+
+// registerLookupService installs the RPC-walk server (called from
+// registerServices). The walk is memory-only, so it is served at interrupt
+// level like the page-fault fast path.
+func (mg *Manager) registerLookupService() {
+	mg.EP.Register(ProcTreeLookup, "cow.treelookup",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*treeLookupArgs)
+			if !ok || args.Start.Cell() != mg.CellID {
+				return nil, 0, true, ErrBadArgs
+			}
+			// The interrupt handler cannot charge per-node time as a
+			// task; estimate the visit cost into the service charge.
+			a := mg.arena()
+			cur := args.Start
+			var visits sim.Time
+			for depth := 0; depth < MaxDepth && cur != kmem.NilAddr && cur.Cell() == mg.CellID; depth++ {
+				visits += localVisit
+				tag, terr := a.TagAt(cur)
+				if terr != nil || tag != TagNode {
+					mg.localDamage(fmt.Sprintf("node %v bad tag (lookup service)", cur))
+					return nil, visits, true, ErrTreeDamaged
+				}
+				count, _ := a.ReadWord(cur, wordCount)
+				if int(count) > MaxEntries {
+					mg.localDamage(fmt.Sprintf("node %v bad count (lookup service)", cur))
+					return nil, visits, true, ErrTreeDamaged
+				}
+				for i := 0; i < int(count); i++ {
+					v, _ := a.ReadWord(cur, wordPages+i)
+					if int64(v) == off64(args.Off) {
+						return &treeLookupReply{Found: true, Node: cur}, visits, true, nil
+					}
+				}
+				parent, _ := a.ReadWord(cur, wordParent)
+				cur = kmem.Addr(parent)
+			}
+			if cur != kmem.NilAddr && cur.Cell() == mg.CellID {
+				return nil, visits, true, ErrTreeDamaged
+			}
+			return &treeLookupReply{Next: cur}, visits, true, nil
+		}, nil)
+}
+
+func off64(v int64) int64 { return v }

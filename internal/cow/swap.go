@@ -1,0 +1,73 @@
+package cow
+
+import (
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Swap backing for anonymous pages. The paper's anonymous pages have "their
+// backing store in the swap partition" (§5.3); the evaluation workloads
+// never page, but the mechanism must exist for the clock hand to evict
+// dirty anonymous pages. Each cell owns a swap area on its local disk; the
+// swap map records, per (node, offset), the content tag most recently
+// written out.
+
+// swapSlotBytes spaces swap slots on disk.
+const swapSlotBytes = 4096
+
+// swapKey identifies an anonymous page in the swap map.
+type swapKey struct {
+	node uint64
+	off  int64
+}
+
+// EnableSwap attaches a swap area to the manager; without it, dirty
+// anonymous pages are simply not evictable.
+func (mg *Manager) EnableSwap(d *disk.Drive, baseOffset int64) {
+	mg.swapDisk = d
+	mg.swapBase = baseOffset
+	mg.swapMap = make(map[swapKey]uint64)
+}
+
+// SwapOut writes an anonymous page's content to swap — the clock hand's
+// writeback hook for AnonObj pages homed on this cell. It reports whether
+// the page is now stable.
+func (mg *Manager) SwapOut(t *sim.Task, lp vm.LogicalPage) bool {
+	if mg.swapDisk == nil || lp.Obj.Kind != vm.AnonObj || lp.Obj.Home != mg.CellID {
+		return false
+	}
+	pf, ok := mg.VM.Lookup(lp)
+	if !ok {
+		return false
+	}
+	tag, _ := mg.M.PageTag(pf.Frame)
+	key := swapKey{node: lp.Obj.Num, off: lp.Off}
+	slot, have := mg.swapSlots[key]
+	if !have {
+		if mg.swapSlots == nil {
+			mg.swapSlots = make(map[swapKey]int64)
+		}
+		slot = int64(len(mg.swapSlots))
+		mg.swapSlots[key] = slot
+	}
+	mg.swapDisk.Write(t, mg.swapBase+slot*swapSlotBytes, swapSlotBytes)
+	mg.swapMap[key] = tag
+	mg.Metrics.Counter("cow.swap_outs").Inc()
+	return true
+}
+
+// swapIn recovers a page's content from swap, if it was ever written out.
+func (mg *Manager) swapIn(t *sim.Task, lp vm.LogicalPage) (uint64, bool) {
+	if mg.swapMap == nil {
+		return 0, false
+	}
+	key := swapKey{node: lp.Obj.Num, off: lp.Off}
+	tag, ok := mg.swapMap[key]
+	if !ok {
+		return 0, false
+	}
+	mg.swapDisk.Read(t, mg.swapBase+mg.swapSlots[key]*swapSlotBytes, swapSlotBytes)
+	mg.Metrics.Counter("cow.swap_ins").Inc()
+	return tag, true
+}

@@ -1,0 +1,111 @@
+package disk
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCapacity(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, HP97560())
+	// HP 97560 is a ~1.3 GB drive.
+	gb := float64(d.Capacity()) / (1 << 30)
+	if gb < 1.0 || gb > 1.6 {
+		t.Fatalf("capacity = %.2f GB", gb)
+	}
+}
+
+func TestReadLatencyPlausible(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, HP97560())
+	var lat sim.Time
+	e.Go("t", func(tk *sim.Task) {
+		start := tk.Now()
+		d.Read(tk, 1<<28, 4096)
+		lat = tk.Now() - start
+	})
+	e.Run(0)
+	// Seek + rotation + transfer for one page: single-digit to tens of ms.
+	if lat < 2*sim.Millisecond || lat > 50*sim.Millisecond {
+		t.Fatalf("4 KB read latency = %v", lat)
+	}
+	if d.Reads != 1 {
+		t.Fatalf("Reads = %d", d.Reads)
+	}
+}
+
+func TestSequentialFasterThanRandom(t *testing.T) {
+	measure := func(stride int64) sim.Time {
+		e := sim.NewEngine(7)
+		d := New(e, HP97560())
+		var total sim.Time
+		e.Go("t", func(tk *sim.Task) {
+			start := tk.Now()
+			off := int64(0)
+			for i := 0; i < 20; i++ {
+				d.Read(tk, off, 4096)
+				off += stride
+			}
+			total = tk.Now() - start
+		})
+		e.Run(0)
+		return total
+	}
+	seq := measure(4096)
+	random := measure(50 << 20)
+	if seq >= random {
+		t.Fatalf("sequential (%v) not faster than random (%v)", seq, random)
+	}
+}
+
+func TestRequestsSerializeAtDrive(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, HP97560())
+	var done []sim.Time
+	for i := 0; i < 3; i++ {
+		e.Go("t", func(tk *sim.Task) {
+			d.Read(tk, 0, 4096)
+			done = append(done, tk.Now())
+		})
+	}
+	e.Run(0)
+	if len(done) != 3 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	for i := 1; i < len(done); i++ {
+		if done[i] <= done[i-1] {
+			t.Fatalf("requests overlapped: %v", done)
+		}
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	e := sim.NewEngine(1)
+	d := New(e, HP97560())
+	e.Go("t", func(tk *sim.Task) {
+		d.Write(tk, 0, 8192)
+	})
+	e.Run(0)
+	if d.Writes != 1 || d.BusyTime == 0 {
+		t.Fatalf("Writes=%d BusyTime=%v", d.Writes, d.BusyTime)
+	}
+}
+
+func TestLargeTransferScales(t *testing.T) {
+	e := sim.NewEngine(3)
+	d := New(e, HP97560())
+	var small, large sim.Time
+	e.Go("t", func(tk *sim.Task) {
+		s := tk.Now()
+		d.Read(tk, 0, 4096)
+		small = tk.Now() - s
+		s = tk.Now()
+		d.Read(tk, 0, 1<<20)
+		large = tk.Now() - s
+	})
+	e.Run(0)
+	if large <= small {
+		t.Fatalf("1 MB (%v) not slower than 4 KB (%v)", large, small)
+	}
+}

@@ -1,0 +1,14 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOneTrialEach(t *testing.T) {
+	for _, s := range []Scenario{NodeFailProcCreate, NodeFailCOWSearch, NodeFailRandom, CorruptAddrMap, CorruptCOWTree} {
+		tr := RunTrial(s, 0)
+		fmt.Printf("%-50s detect=%.1fms recov=%.1fms det=%v cont=%v integ=%v check=%v notes=%s\n",
+			s, tr.DetectMs, tr.RecoveryMs, tr.Detected, tr.Contained, tr.IntegrityOK, tr.CorrectRunOK, tr.Notes)
+	}
+}

@@ -1,0 +1,233 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Server-side RPC services. Every handler sanity-checks its arguments
+// before touching local state, per the message-exchange discipline of §3.1.
+
+// lookupArgs drives ProcLookup/ProcGetattr/ProcUnlink.
+type lookupArgs struct {
+	Path      string
+	Component int
+}
+
+// createArgs drives ProcCreate.
+type createArgs struct {
+	Path string
+}
+
+// openReply returns the file identity, generation, and size.
+type openReply struct {
+	ID   FileID
+	Gen  uint64
+	Size int64
+}
+
+// pageArgs drives ProcReadPage.
+type pageArgs struct {
+	Key Key
+	Off int64
+	Gen uint64
+}
+
+// pageReply returns one page's content.
+type pageReply struct {
+	Tag     uint64
+	Corrupt bool
+}
+
+// renameArgs drives ProcRename.
+type renameArgs struct {
+	Old, New string
+}
+
+// truncArgs drives ProcTruncate.
+type truncArgs struct {
+	Key   Key
+	Gen   uint64
+	Pages int64
+}
+
+// writeArgs drives ProcWriteBulk.
+type writeArgs struct {
+	Key  Key
+	Off  int64
+	Gen  uint64
+	Tags []uint64
+}
+
+func (f *FS) registerServices() {
+	// Path lookup: interrupt-level (directory maps are in memory).
+	f.EP.Register(ProcLookup, "fs.lookup",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*lookupArgs)
+			if !ok || args.Path == "" {
+				return nil, 0, true, ErrBadArgs
+			}
+			id, ok := f.byPath[args.Path]
+			if !ok {
+				return nil, LookupServer, true, fmt.Errorf("%w: %s", ErrNotFound, args.Path)
+			}
+			return &openReply{ID: id, Gen: f.files[id].Gen}, LookupServer, true, nil
+		}, nil)
+
+	f.EP.Register(ProcGetattr, "fs.getattr",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*lookupArgs)
+			if !ok {
+				return nil, 0, true, ErrBadArgs
+			}
+			if args.Path == "" {
+				// Getattr by file id (size queries on open handles).
+				file := f.files[FileID(args.Component)]
+				if file == nil {
+					return nil, GetattrServer, true, ErrNotFound
+				}
+				return &openReply{ID: file.ID, Gen: file.Gen, Size: file.SizePgs},
+					GetattrServer, true, nil
+			}
+			id, ok := f.byPath[args.Path]
+			if !ok {
+				return nil, GetattrServer, true, ErrNotFound
+			}
+			file := f.files[id]
+			return &openReply{ID: id, Gen: file.Gen, Size: file.SizePgs}, GetattrServer, true, nil
+		}, nil)
+
+	f.EP.Register(ProcRename, "fs.rename", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*renameArgs)
+			if !ok || args.Old == "" || args.New == "" {
+				return nil, ErrBadArgs
+			}
+			if f.homeFor(args.Old) != f.CellID || f.homeFor(args.New) != f.CellID {
+				return nil, ErrBadArgs
+			}
+			return nil, f.Rename(t, args.Old, args.New)
+		})
+
+	f.EP.Register(ProcTruncate, "fs.truncate", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*truncArgs)
+			if !ok || args.Key.Home != f.CellID || args.Pages < 0 {
+				return nil, ErrBadArgs
+			}
+			file := f.files[args.Key.ID]
+			if file == nil {
+				return nil, ErrNotFound
+			}
+			if args.Gen != file.Gen {
+				return nil, ErrStale
+			}
+			return nil, f.truncateLocal(t, file, args.Pages)
+		})
+
+	f.EP.Register(ProcCreate, "fs.create", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*createArgs)
+			if !ok || args.Path == "" || len(args.Path) > 4096 {
+				return nil, ErrBadArgs
+			}
+			if f.homeFor(args.Path) != f.CellID {
+				return nil, fmt.Errorf("%w: %s not homed here", ErrBadArgs, args.Path)
+			}
+			f.proc().Use(t, LookupServer)
+			file := f.createLocal(args.Path)
+			return &openReply{ID: file.ID, Gen: file.Gen}, nil
+		})
+
+	// Page fetch: the common case — a hit in the data-home page cache —
+	// is serviced entirely at interrupt level (§4.3); disk fills fall
+	// back to the queued path.
+	f.EP.Register(ProcReadPage, "fs.readpage",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*pageArgs)
+			if !ok || args.Key.Home != f.CellID || args.Off < 0 {
+				return nil, 0, true, ErrBadArgs
+			}
+			file := f.files[args.Key.ID]
+			if file == nil {
+				return nil, 0, true, ErrNotFound
+			}
+			if args.Gen != file.Gen {
+				return nil, 0, true, ErrStale
+			}
+			if f.VM.InRecovery() || f.VM.Lock.Locked() {
+				return nil, 0, false, nil
+			}
+			pf, ok := f.VM.Lookup(lpFor(args.Key, args.Off))
+			if !ok {
+				return nil, 0, false, nil // disk fill: queued path
+			}
+			tag, corrupt := f.M.PageTag(pf.Frame)
+			return &pageReply{Tag: tag, Corrupt: corrupt}, vm.MiscVMDataHome, true, nil
+		},
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*pageArgs)
+			if !ok || args.Key.Home != f.CellID || args.Off < 0 {
+				return nil, ErrBadArgs
+			}
+			file := f.files[args.Key.ID]
+			if file == nil {
+				return nil, ErrNotFound
+			}
+			if args.Gen != file.Gen {
+				return nil, ErrStale
+			}
+			if f.VM.InRecovery() {
+				return nil, vm.ErrRecovering
+			}
+			pf, ok := f.VM.Lookup(lpFor(args.Key, args.Off))
+			if !ok {
+				var err error
+				pf, err = f.fillFromDisk(t, lpFor(args.Key, args.Off), file)
+				if err != nil {
+					return nil, err
+				}
+			}
+			tag, corrupt := f.M.PageTag(pf.Frame)
+			return &pageReply{Tag: tag, Corrupt: corrupt}, nil
+		})
+
+	// Bulk write: queued (it allocates frames and may evict).
+	f.EP.Register(ProcWriteBulk, "fs.writebulk", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*writeArgs)
+			if !ok || args.Key.Home != f.CellID || args.Off < 0 || len(args.Tags) > 1024 {
+				return nil, ErrBadArgs
+			}
+			file := f.files[args.Key.ID]
+			if file == nil {
+				return nil, ErrNotFound
+			}
+			if args.Gen != file.Gen {
+				return nil, ErrStale
+			}
+			return nil, f.writeLocal(t, file, args.Off, args.Tags)
+		})
+
+	f.EP.Register(ProcUnlink, "fs.unlink", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*lookupArgs)
+			if !ok || args.Path == "" {
+				return nil, ErrBadArgs
+			}
+			if f.homeFor(args.Path) != f.CellID {
+				return nil, ErrBadArgs
+			}
+			id, ok := f.byPath[args.Path]
+			if !ok {
+				return nil, ErrNotFound
+			}
+			f.proc().Use(t, LookupServer)
+			delete(f.byPath, args.Path)
+			delete(f.files, id)
+			return nil, nil
+		})
+}

@@ -1,0 +1,232 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Fault-tolerant file system mechanisms (§8 lists these as requirements
+// for a production multicellular OS: "mechanisms that support file
+// replication and striping across cells"). Both are built on component
+// files living in a reserved per-cell namespace ("/.ft/..."), which every
+// cell serves locally, so the ordinary data-home machinery (page cache,
+// generation numbers, preemptive discard) applies per component.
+//
+//   - A striped file spreads page i to component i%k on stripe cell k —
+//     bandwidth and capacity across cells, no redundancy.
+//   - A replicated file keeps a full copy on every replica cell — reads
+//     prefer the nearest live copy, writes go to all, and the file
+//     survives the failure of any proper subset of its replica cells.
+
+// compPath names the component of path on replica/stripe index i.
+func compPath(path string, i int) string {
+	return fmt.Sprintf("/.ft%s#%d", path, i)
+}
+
+// StripedHandle is an open striped file.
+type StripedHandle struct {
+	Path   string
+	Cells  []int
+	comps  []*Handle // one per stripe cell
+	Pos    int64
+	fs     *FS
+	stripe int
+}
+
+// CreateStriped creates a striped file across the given cells and returns
+// an open handle. Component files are created at each stripe cell.
+func (f *FS) CreateStriped(t *sim.Task, path string, cells []int) (*StripedHandle, error) {
+	if len(cells) == 0 {
+		return nil, ErrBadArgs
+	}
+	sh := &StripedHandle{Path: path, Cells: append([]int(nil), cells...), fs: f, stripe: len(cells)}
+	for i, cell := range cells {
+		h, err := f.createAt(t, compPath(path, i), cell)
+		if err != nil {
+			return nil, fmt.Errorf("stripe %d on cell %d: %w", i, cell, err)
+		}
+		sh.comps = append(sh.comps, h)
+	}
+	f.Metrics.Counter("fs.striped_creates").Inc()
+	return sh, nil
+}
+
+// OpenStriped opens an existing striped file (the caller supplies the same
+// cell list used at creation; a directory service would record it).
+func (f *FS) OpenStriped(t *sim.Task, path string, cells []int) (*StripedHandle, error) {
+	sh := &StripedHandle{Path: path, Cells: append([]int(nil), cells...), fs: f, stripe: len(cells)}
+	for i, cell := range cells {
+		h, err := f.openAt(t, compPath(path, i), cell)
+		if err != nil {
+			return nil, err
+		}
+		sh.comps = append(sh.comps, h)
+	}
+	return sh, nil
+}
+
+// Write writes npages sequential pages, page i landing on stripe i%k.
+func (sh *StripedHandle) Write(t *sim.Task, npages int, seed uint64) error {
+	for n := 0; n < npages; n++ {
+		comp := sh.comps[int(sh.Pos)%sh.stripe]
+		comp.Pos = sh.Pos / int64(sh.stripe)
+		if err := sh.fs.Write(t, comp, 1, seed); err != nil {
+			return err
+		}
+		sh.Pos++
+	}
+	return nil
+}
+
+// Read reads npages sequential pages from their stripes.
+func (sh *StripedHandle) Read(t *sim.Task, npages int) ([]PageData, error) {
+	var out []PageData
+	for n := 0; n < npages; n++ {
+		comp := sh.comps[int(sh.Pos)%sh.stripe]
+		comp.Pos = sh.Pos / int64(sh.stripe)
+		pages, err := sh.fs.Read(t, comp, 1)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, pages...)
+		sh.Pos++
+	}
+	return out, nil
+}
+
+// ReplicatedHandle is an open replicated file.
+type ReplicatedHandle struct {
+	Path  string
+	Cells []int
+	comps []*Handle
+	Pos   int64
+	fs    *FS
+}
+
+// CreateReplicated creates a file with one full copy on each cell.
+func (f *FS) CreateReplicated(t *sim.Task, path string, cells []int) (*ReplicatedHandle, error) {
+	if len(cells) == 0 {
+		return nil, ErrBadArgs
+	}
+	rh := &ReplicatedHandle{Path: path, Cells: append([]int(nil), cells...), fs: f}
+	for i, cell := range cells {
+		h, err := f.createAt(t, compPath(path, i), cell)
+		if err != nil {
+			return nil, err
+		}
+		rh.comps = append(rh.comps, h)
+	}
+	f.Metrics.Counter("fs.replicated_creates").Inc()
+	return rh, nil
+}
+
+// OpenReplicated opens an existing replicated file; replicas on failed
+// cells are tolerated as long as one copy is reachable.
+func (f *FS) OpenReplicated(t *sim.Task, path string, cells []int) (*ReplicatedHandle, error) {
+	rh := &ReplicatedHandle{Path: path, Cells: append([]int(nil), cells...), fs: f}
+	var lastErr error
+	for i, cell := range cells {
+		h, err := f.openAt(t, compPath(path, i), cell)
+		if err != nil {
+			lastErr = err
+			rh.comps = append(rh.comps, nil)
+			continue
+		}
+		rh.comps = append(rh.comps, h)
+	}
+	for _, h := range rh.comps {
+		if h != nil {
+			return rh, nil
+		}
+	}
+	return nil, fmt.Errorf("fs: no live replica of %s: %w", path, lastErr)
+}
+
+// Write updates every reachable replica; it fails only when no replica
+// accepted the write (strict quorum semantics are left to callers needing
+// them — the paper's direction is availability for compute-server files).
+func (rh *ReplicatedHandle) Write(t *sim.Task, npages int, seed uint64) error {
+	okCount := 0
+	var lastErr error
+	for _, comp := range rh.comps {
+		if comp == nil {
+			continue
+		}
+		comp.Pos = rh.Pos
+		if err := rh.fs.Write(t, comp, npages, seed); err != nil {
+			lastErr = err
+			continue
+		}
+		okCount++
+	}
+	if okCount == 0 {
+		return fmt.Errorf("fs: replicated write failed everywhere: %w", lastErr)
+	}
+	rh.Pos += int64(npages)
+	return nil
+}
+
+// Read serves from the first reachable replica, preferring a local one.
+func (rh *ReplicatedHandle) Read(t *sim.Task, npages int) ([]PageData, error) {
+	order := make([]*Handle, 0, len(rh.comps))
+	for i, comp := range rh.comps {
+		if comp != nil && rh.Cells[i] == rh.fs.CellID {
+			order = append(order, comp)
+		}
+	}
+	for i, comp := range rh.comps {
+		if comp != nil && rh.Cells[i] != rh.fs.CellID {
+			order = append(order, comp)
+		}
+	}
+	var lastErr error
+	for _, comp := range order {
+		comp.Pos = rh.Pos
+		pages, err := rh.fs.Read(t, comp, npages)
+		if err == nil {
+			rh.Pos += int64(npages)
+			return pages, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fs: replicated read failed everywhere: %w", lastErr)
+}
+
+// createAt creates a component file on an explicit cell, bypassing mount
+// resolution (the /.ft namespace is served locally by every cell).
+func (f *FS) createAt(t *sim.Task, path string, cell int) (*Handle, error) {
+	if cell == f.CellID {
+		f.proc().Use(t, OpenBase+sim.Time(components(path))*LookupLocal)
+		file := f.createLocal(path)
+		return &Handle{Key: Key{Home: cell, ID: file.ID}, Gen: file.Gen, fs: f, open: true}, nil
+	}
+	res, err := f.EP.Call(t, f.proc(), cell, ProcCreate, &createArgs{Path: path},
+		rpc.CallOpts{DataBytes: len(path)})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := res.(*openReply)
+	if !ok {
+		return nil, ErrBadArgs
+	}
+	return &Handle{Key: Key{Home: cell, ID: rep.ID}, Gen: rep.Gen, fs: f, open: true}, nil
+}
+
+// openAt opens a component file on an explicit cell.
+func (f *FS) openAt(t *sim.Task, path string, cell int) (*Handle, error) {
+	if cell == f.CellID {
+		return f.Open(t, path)
+	}
+	res, err := f.EP.Call(t, f.proc(), cell, ProcGetattr,
+		&lookupArgs{Path: path}, rpc.CallOpts{DataBytes: len(path), NoHint: true})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := res.(*openReply)
+	if !ok {
+		return nil, ErrBadArgs
+	}
+	return &Handle{Key: Key{Home: cell, ID: rep.ID}, Gen: rep.Gen, fs: f, open: true}, nil
+}

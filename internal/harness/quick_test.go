@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQuickHarness(t *testing.T) {
+	c := RunCareful41()
+	fmt.Printf("careful41: read=%.2fus (1.16) rpc=%.2fus (7.2)\n", c.CarefulReadUs, c.NullRPCUs)
+	r := RunRPC6()
+	fmt.Printf("rpc6: null=%.1f (7.2) real=%.1f (9.6) oversize=%.1f (17.3) queued=%.1f (34)\n",
+		r.NullUs, r.RealUs, r.OversizeUs, r.QueuedUs)
+	t52 := RunTable52()
+	fmt.Printf("t52: local=%.1f (6.9) remote=%.1f (50.7) breakdownTotal=%.1f\n",
+		t52.LocalUs, t52.RemoteUs, t52.Components.MeanTotal())
+	t73 := RunTable73()
+	fmt.Printf("t73: read %.1f/%.1f (65/76.2) write %.1f/%.1f (83.7/87.3) open %.0f/%.0f (148/580) fault %.1f/%.1f\n",
+		t73.Read4MBLocalMs, t73.Read4MBRemoteMs, t73.Write4MBLocalMs, t73.Write4MBRemoteMs,
+		t73.OpenLocalUs, t73.OpenRemoteUs, t73.FaultLocalUs, t73.FaultRemoteUs)
+	hw := RunHardware81()
+	fmt.Printf("t81: %+v\n", *hw)
+	sc := RunScalability([]int{1, 2, 4, 8})
+	for _, p := range sc {
+		fmt.Printf("scal: cpus=%d smp=%d hive=%d ratio=%.2f\n", p.CPUs, p.SMPOps, p.HiveOps, float64(p.HiveOps)/float64(p.SMPOps))
+	}
+	ac := RunAgreementComparison()
+	fmt.Printf("agree: oracle=%.1fms vote=%.1fms ok=%v\n", ac.OracleDetectMs, ac.VoteDetectMs, ac.VoteOK)
+}

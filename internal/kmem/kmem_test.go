@@ -1,0 +1,187 @@
+package kmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrEncoding(t *testing.T) {
+	a := MakeAddr(3, 0x1000)
+	if a.Cell() != 3 || a.Offset() != 0x1000 || !a.Aligned() {
+		t.Fatalf("addr %v: cell=%d off=%#x", a, a.Cell(), a.Offset())
+	}
+	if NilAddr.String() != "nil" {
+		t.Fatalf("nil string = %q", NilAddr.String())
+	}
+	if MakeAddr(1, 0x1003).Aligned() {
+		t.Fatal("unaligned address reported aligned")
+	}
+}
+
+func TestAllocReadWrite(t *testing.T) {
+	a := NewArena(2)
+	addr := a.Alloc(7, 4)
+	if addr.Cell() != 2 {
+		t.Fatalf("cell = %d", addr.Cell())
+	}
+	a.WriteWord(addr, 1, 0xabc)
+	v, err := a.ReadWord(addr, 1)
+	if err != nil || v != 0xabc {
+		t.Fatalf("read = %#x, %v", v, err)
+	}
+	tag, err := a.TagAt(addr)
+	if err != nil || tag != 7 {
+		t.Fatalf("tag = %d, %v", tag, err)
+	}
+	if a.Size(addr) != 4 {
+		t.Fatalf("size = %d", a.Size(addr))
+	}
+}
+
+func TestFreeRemovesTag(t *testing.T) {
+	a := NewArena(0)
+	addr := a.Alloc(7, 2)
+	a.Free(addr)
+	tag, err := a.TagAt(addr)
+	if err != nil {
+		t.Fatalf("tag read errored: %v", err)
+	}
+	if tag == 7 {
+		t.Fatal("tag survived free — stale pointers would pass checks")
+	}
+	if a.Live() != 0 {
+		t.Fatalf("live = %d", a.Live())
+	}
+	a.Free(addr) // double free is a tolerated no-op
+}
+
+func TestUnmappedReadsReturnDeterministicGarbage(t *testing.T) {
+	a := NewArena(0)
+	wild := MakeAddr(0, 0x424240)
+	v1, err1 := a.ReadWord(wild, 3)
+	v2, err2 := a.ReadWord(wild, 3)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if v1 != v2 {
+		t.Fatal("garbage not deterministic")
+	}
+	v3, _ := a.ReadWord(wild, 4)
+	if v3 == v1 {
+		t.Fatal("garbage not position-dependent")
+	}
+}
+
+func TestOutOfBoundsReadIsGarbageNotPanic(t *testing.T) {
+	a := NewArena(0)
+	addr := a.Alloc(1, 2)
+	if _, err := a.ReadWord(addr, 99); err != nil {
+		t.Fatalf("oob read errored: %v", err)
+	}
+	a.WriteWord(addr, 99, 5) // silently vanishes
+}
+
+func TestAccessibleGate(t *testing.T) {
+	a := NewArena(0)
+	addr := a.Alloc(1, 1)
+	a.Accessible = func() error { return ErrBusError }
+	if _, err := a.ReadWord(addr, 0); err != ErrBusError {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := a.TagAt(addr); err != ErrBusError {
+		t.Fatalf("tag err = %v", err)
+	}
+}
+
+func TestUnbackedRangeBusError(t *testing.T) {
+	a := NewArena(0)
+	far := MakeAddr(0, arenaLimit+8)
+	if _, err := a.ReadWord(far, 0); err != ErrBusError {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCorruptWord(t *testing.T) {
+	a := NewArena(0)
+	addr := a.Alloc(1, 3)
+	a.WriteWord(addr, 2, 10)
+	if !a.CorruptWord(addr, 2, 0xbad) {
+		t.Fatal("corrupt failed")
+	}
+	v, _ := a.ReadWord(addr, 2)
+	if v != 0xbad {
+		t.Fatalf("v = %#x", v)
+	}
+	if a.CorruptWord(MakeAddr(0, 0x999940), 0, 1) {
+		t.Fatal("corrupted unmapped address")
+	}
+}
+
+func TestSpaceRouting(t *testing.T) {
+	s := NewSpace(3)
+	addr := s.Arena(1).Alloc(5, 1)
+	s.Arena(1).WriteWord(addr, 0, 42)
+	v, err := s.ReadWord(addr, 0)
+	if err != nil || v != 42 {
+		t.Fatalf("v=%d err=%v", v, err)
+	}
+	tag, err := s.TagAt(addr)
+	if err != nil || tag != 5 {
+		t.Fatalf("tag=%d err=%v", tag, err)
+	}
+	if _, err := s.ReadWord(MakeAddr(9, 64), 0); err != ErrBusError {
+		t.Fatalf("bogus cell err = %v", err)
+	}
+	if s.NumCells() != 3 {
+		t.Fatalf("cells = %d", s.NumCells())
+	}
+}
+
+func TestAllocationsDoNotOverlap(t *testing.T) {
+	a := NewArena(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		addr := a.Alloc(TypeTag(i), 10)
+		if seen[addr.Offset()] {
+			t.Fatalf("offset %#x reused", addr.Offset())
+		}
+		seen[addr.Offset()] = true
+	}
+}
+
+// Property: round-tripping any (cell, offset) pair through an Addr is exact
+// for in-range values.
+func TestPropertyAddrRoundTrip(t *testing.T) {
+	f := func(cell uint16, off uint32) bool {
+		a := MakeAddr(int(cell), uint64(off))
+		return a.Cell() == int(cell) && a.Offset() == uint64(off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written to distinct live objects never bleeds between them.
+func TestPropertyObjectIsolation(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		a := NewArena(0)
+		addrs := make([]Addr, len(vals))
+		for i, v := range vals {
+			addrs[i] = a.Alloc(1, 1)
+			a.WriteWord(addrs[i], 0, v)
+		}
+		for i, v := range vals {
+			got, err := a.ReadWord(addrs[i], 0)
+			if err != nil || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

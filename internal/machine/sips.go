@@ -1,0 +1,141 @@
+package machine
+
+import "repro/internal/sim"
+
+// SIPS — the short interprocessor send facility (§6). Each send delivers one
+// 128-byte cache line of data in about the latency of a remote cache miss,
+// with hardware reliability and flow control. Separate request and reply
+// receive queues per node make deadlock avoidance easy.
+
+// SIPSLineBytes is the payload capacity of one SIPS message.
+const SIPSLineBytes = 128
+
+// wireLatency is the interprocessor delivery latency: the IPI time on
+// FLASH's mesh, or the (longer) link latency on a CC-NOW configuration
+// where nodes are workstations on a network (§8).
+func (m *Machine) wireLatency() sim.Time {
+	if m.Cfg.RemoteMissNs > m.Cfg.IPINs {
+		return m.Cfg.RemoteMissNs
+	}
+	return m.Cfg.IPINs
+}
+
+// SIPSKind selects the hardware receive queue.
+type SIPSKind int
+
+const (
+	// SIPSRequest messages go to the request queue.
+	SIPSRequest SIPSKind = iota
+	// SIPSReply messages go to the reply queue, so replies can always be
+	// received even while the request queue is full.
+	SIPSReply
+)
+
+// SIPSMsg is one short interprocessor send.
+type SIPSMsg struct {
+	From    int      // sending processor ID
+	To      int      // destination processor ID
+	Kind    SIPSKind // request or reply queue
+	Size    int      // payload bytes; must be <= SIPSLineBytes
+	Payload any      // marshalled argument line (data beyond a line is sent by reference)
+	// ByRef optionally carries a reference (remote address / page) for
+	// data beyond the 128-byte line; the receiver must use the careful
+	// reference protocol to access it.
+	ByRef any
+}
+
+// SendSIPS transmits msg from the calling task's processor. Delivery costs
+// one IPI latency; the receiver pays the payload access latency when the
+// handler runs. If the destination node has failed or is cut off, the send
+// fails with a bus error after the IPI latency (the fault model guarantees
+// no indefinite stall).
+func (m *Machine) SendSIPS(t *sim.Task, proc *Processor, msg *SIPSMsg) error {
+	if proc.Halted() {
+		return ErrHalted
+	}
+	if msg.Size > SIPSLineBytes {
+		panic("machine: SIPS payload exceeds one cache line")
+	}
+	msg.From = proc.ID
+	dstProc := m.Procs[msg.To]
+	dstNode := dstProc.Node
+
+	// The send itself occupies the sender for the uncached launch write.
+	proc.Use(t, m.Cfg.UncachedNs)
+
+	if err := dstNode.accessible(proc.Node.ID); err != nil {
+		m.Metrics.Counter("sips.send_failures").Inc()
+		return err
+	}
+	m.Metrics.Counter("sips.sends").Inc()
+
+	// Delivery: IPI latency, then the node's receive handler runs in
+	// interrupt context, paying the payload access latency.
+	m.Eng.After(m.wireLatency(), func() {
+		if dstNode.failed || dstProc.Halted() {
+			return // message lost with the node; sender's timeout handles it
+		}
+		handler := dstNode.OnSIPS
+		if handler == nil {
+			m.Metrics.Counter("sips.dropped_no_handler").Inc()
+			return
+		}
+		dstProc.Interrupt(m.Cfg.SIPSPayloadNs, func() { handler(msg) })
+	})
+	return nil
+}
+
+// SendSIPSAsync transmits msg from interrupt or engine context (no task to
+// charge; the caller must have accounted the launch cost in its interrupt
+// handler cost). Used for RPC replies sent from interrupt level.
+func (m *Machine) SendSIPSAsync(proc *Processor, msg *SIPSMsg) error {
+	if proc.Halted() {
+		return ErrHalted
+	}
+	if msg.Size > SIPSLineBytes {
+		panic("machine: SIPS payload exceeds one cache line")
+	}
+	msg.From = proc.ID
+	dstProc := m.Procs[msg.To]
+	dstNode := dstProc.Node
+	if err := dstNode.accessible(proc.Node.ID); err != nil {
+		m.Metrics.Counter("sips.send_failures").Inc()
+		return err
+	}
+	m.Metrics.Counter("sips.sends").Inc()
+	m.Eng.After(m.wireLatency(), func() {
+		if dstNode.failed || dstProc.Halted() {
+			return
+		}
+		handler := dstNode.OnSIPS
+		if handler == nil {
+			m.Metrics.Counter("sips.dropped_no_handler").Inc()
+			return
+		}
+		dstProc.Interrupt(m.Cfg.SIPSPayloadNs, func() { handler(msg) })
+	})
+	return nil
+}
+
+// SendIPI delivers a bare interprocessor interrupt with no payload —
+// the pre-SIPS mechanism (§6 discusses why it is insufficient). Kept for
+// the RPC-over-IPI ablation benchmark.
+func (m *Machine) SendIPI(t *sim.Task, proc *Processor, to int, fn func()) error {
+	if proc.Halted() {
+		return ErrHalted
+	}
+	dstProc := m.Procs[to]
+	proc.Use(t, m.Cfg.UncachedNs)
+	if err := dstProc.Node.accessible(proc.Node.ID); err != nil {
+		return err
+	}
+	m.Eng.After(m.wireLatency(), func() {
+		if dstProc.Halted() {
+			return
+		}
+		// Without SIPS the receiver must poll per-sender queues in
+		// shared memory: one extra remote miss per sender scanned.
+		dstProc.Interrupt(m.Cfg.MissNs*sim.Time(m.Cfg.Nodes), fn)
+	})
+	return nil
+}

@@ -1,0 +1,336 @@
+package membership
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Coordinator is the shared substrate of the agreement protocol: the live
+// set, round bookkeeping, votes, and the global barriers. In the real
+// system this state is replicated by the group-membership messages; the
+// simulation centralizes it (as the paper's oracle did) while the probe
+// traffic and recovery work remain real per-cell activity.
+type Coordinator struct {
+	Mode AgreementMode
+	// OracleFailed reports ground truth: has this cell failed or been
+	// corrupted? Wired by the fault injector in Oracle mode.
+	OracleFailed func(cell int) bool
+	// OnDeclaredDead is invoked once when agreement declares a cell
+	// dead; the cell layer uses it to force the (possibly still
+	// running, corrupt) cell to stop — the consensus-gated reboot.
+	OnDeclaredDead func(cell int)
+	// AutoReintegrate lets the recovery master reboot repaired cells.
+	AutoReintegrate bool
+	// BrokenHardware marks nodes that fail the master's diagnostics.
+	BrokenHardware map[int]bool
+
+	cells      int
+	nodesByCel [][]int
+	live       map[int]bool
+	monitors   map[int]*Monitor
+
+	cur       *round
+	completed map[string]bool
+	waiters   []*sim.Task
+
+	votedDown  map[int]map[int]int // accuser -> suspect -> times voted down
+	forcedDead map[int]bool
+
+	// Measurements for the Table 7.4 harness.
+	LastDetectAt   sim.Time // latest "entered recovery" time of any cell
+	FirstDetectAt  sim.Time
+	RecoveryEndAt  sim.Time
+	RoundsRun      int
+	FalseAlarms    int
+	DeadDeclared   []int
+	recoveryActive int
+}
+
+// round is one agreement/recovery round.
+type round struct {
+	key      string
+	suspect  int
+	accuser  int
+	members  map[int]bool // live cells minus suspect
+	joined   map[int]bool // members that have taken up the round
+	votes    map[int]bool // cell -> votesDead
+	verdict  *sim.Future  // resolves to map[int]bool of confirmed-dead cells
+	applied  bool
+	barrier1 *sim.Barrier
+	barrier2 *sim.Barrier
+	b1Seen   map[int]bool
+	b2Seen   map[int]bool
+	done     map[int]bool
+	entered  map[int]sim.Time
+
+	corruptAccuser int // -1, or a cell the round branded corrupt
+}
+
+// NewCoordinator builds the coordinator for `cells` cells, each owning the
+// listed nodes.
+func NewCoordinator(cells int, nodesByCell [][]int, mode AgreementMode) *Coordinator {
+	c := &Coordinator{
+		Mode:       mode,
+		cells:      cells,
+		nodesByCel: nodesByCell,
+		live:       make(map[int]bool),
+		monitors:   make(map[int]*Monitor),
+		completed:  make(map[string]bool),
+		votedDown:  make(map[int]map[int]int),
+		forcedDead: make(map[int]bool),
+	}
+	for i := 0; i < cells; i++ {
+		c.live[i] = true
+	}
+	return c
+}
+
+func (c *Coordinator) register(m *Monitor) { c.monitors[m.CellID] = m }
+
+// isLive reports whether a cell is in the current live set.
+func (c *Coordinator) isLive(cell int) bool { return c.live[cell] }
+
+// liveSet returns the live cells, ascending.
+func (c *Coordinator) liveSet() []int { return sortedCells(c.live) }
+
+// LiveCount returns the size of the live set.
+func (c *Coordinator) LiveCount() int { return len(c.live) }
+
+// neighborOf returns the next live cell after `cell` in the monitoring
+// ring, or -1 when alone.
+func (c *Coordinator) neighborOf(cell int) int {
+	for i := 1; i < c.cells; i++ {
+		n := (cell + i) % c.cells
+		if c.live[n] {
+			return n
+		}
+	}
+	return -1
+}
+
+// masterOf returns the recovery master: the lowest live cell.
+func (c *Coordinator) masterOf() int {
+	ls := c.liveSet()
+	if len(ls) == 0 {
+		return -1
+	}
+	return ls[0]
+}
+
+// firstNodeOf returns a cell's first node (its clock word's home).
+func (c *Coordinator) firstNodeOf(cell int) int { return c.nodesByCel[cell][0] }
+
+// nodesOf returns a cell's nodes.
+func (c *Coordinator) nodesOf(cell int) []int { return c.nodesByCel[cell] }
+
+// ensureRound joins (or creates) the round for this alert on behalf of
+// cellID. It returns nil when the alert is stale: its round already
+// completed, the suspect is already dead, or this cell already served the
+// active round.
+func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) *round {
+	key := fmt.Sprintf("%d:%d", alert.Accuser, alert.Sequence)
+	if c.cur != nil {
+		// An active round for this suspect folds late members in even
+		// if the verdict has already landed — the barriers need every
+		// member, and the live set may already exclude the suspect.
+		if c.cur.suspect == alert.Suspect && c.cur.members[cellID] &&
+			!c.cur.done[cellID] && !c.cur.joined[cellID] {
+			c.cur.joined[cellID] = true
+			return c.cur
+		}
+		if c.cur.suspect == alert.Suspect {
+			c.completed[key] = true // duplicate accusation, already serving
+		}
+		return nil // busy or already served; further hints will re-fire
+	}
+	if c.completed[key] {
+		return nil
+	}
+	if !c.live[alert.Suspect] {
+		c.completed[key] = true
+		return nil
+	}
+	r := &round{
+		key:     key,
+		suspect: alert.Suspect,
+		accuser: alert.Accuser,
+		members: make(map[int]bool),
+		joined:  map[int]bool{cellID: true},
+		votes:   make(map[int]bool),
+		verdict: &sim.Future{},
+		b1Seen:  make(map[int]bool),
+		b2Seen:  make(map[int]bool),
+		done:    make(map[int]bool),
+		entered: make(map[int]sim.Time),
+
+		corruptAccuser: -1,
+	}
+	for cell := range c.live {
+		if cell != alert.Suspect {
+			r.members[cell] = true
+		}
+	}
+	r.barrier1 = sim.NewBarrier(len(r.members))
+	r.barrier2 = sim.NewBarrier(len(r.members))
+	c.cur = r
+	c.RoundsRun++
+	return r
+}
+
+// agree resolves the round's verdict for one member cell and returns the
+// set of confirmed-dead cells (empty = false alarm).
+func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
+	if !r.verdict.Ready() {
+		switch {
+		case c.forcedDead[r.suspect]:
+			// Corrupt-accuser rule already branded the suspect.
+			c.applyVerdict(r, map[int]bool{r.suspect: true})
+		case c.Mode == Oracle:
+			dead := map[int]bool{}
+			if c.OracleFailed != nil && c.OracleFailed(r.suspect) {
+				dead[r.suspect] = true
+			}
+			c.applyVerdict(r, dead)
+		default:
+			// Voting: this member probes and records its vote; the
+			// last vote tallies.
+			if _, voted := r.votes[mon.CellID]; !voted {
+				r.votes[mon.CellID] = !mon.probe(t, r.suspect)
+				if len(r.votes) == len(r.members) {
+					deadVotes := 0
+					for _, d := range r.votes {
+						if d {
+							deadVotes++
+						}
+					}
+					dead := map[int]bool{}
+					if deadVotes*2 > len(r.members) {
+						dead[r.suspect] = true
+					}
+					c.applyVerdict(r, dead)
+				}
+			}
+		}
+	}
+	v, _ := r.verdict.Wait(t)
+	return v.(map[int]bool)
+}
+
+// applyVerdict commits a round's outcome: live-set updates, the corrupt-
+// accuser rule, and the forced stop of cells declared dead.
+func (c *Coordinator) applyVerdict(r *round, dead map[int]bool) {
+	if r.applied {
+		return
+	}
+	r.applied = true
+	if len(dead) == 0 {
+		c.FalseAlarms++
+		// Corrupt-accuser rule (§4.3): two voted-down alerts for the
+		// same suspect brand the accuser corrupt.
+		if c.votedDown[r.accuser] == nil {
+			c.votedDown[r.accuser] = make(map[int]int)
+		}
+		c.votedDown[r.accuser][r.suspect]++
+		if c.votedDown[r.accuser][r.suspect] >= 2 {
+			r.corruptAccuser = r.accuser
+			c.forcedDead[r.accuser] = true
+		}
+	} else {
+		for _, cell := range sortedCells(dead) {
+			delete(c.live, cell)
+			c.DeadDeclared = append(c.DeadDeclared, cell)
+			if mon := c.monitors[cell]; mon != nil {
+				mon.Stop()
+			}
+			if c.OnDeclaredDead != nil {
+				c.OnDeclaredDead(cell)
+			}
+		}
+	}
+	r.verdict.Set(dead, nil)
+}
+
+// noteRecoveryEntered records detection latency (Table 7.4's measurement:
+// latency until the last cell enters recovery).
+func (c *Coordinator) noteRecoveryEntered(r *round, cell int, at sim.Time) {
+	r.entered[cell] = at
+	if c.recoveryActive == 0 {
+		c.FirstDetectAt = at
+	}
+	c.recoveryActive++
+	if at > c.LastDetectAt {
+		c.LastDetectAt = at
+	}
+}
+
+// noteRecoveryDone records recovery completion times.
+func (c *Coordinator) noteRecoveryDone(r *round, cell int, at sim.Time) {
+	if at > c.RecoveryEndAt {
+		c.RecoveryEndAt = at
+	}
+}
+
+// finishRound marks a member's round participation complete; the last
+// member closes the round.
+func (c *Coordinator) finishRound(r *round, cell int) {
+	r.done[cell] = true
+	c.checkRoundDone(r)
+}
+
+func (c *Coordinator) checkRoundDone(r *round) {
+	if r == nil {
+		return
+	}
+	for m := range r.members {
+		if !r.done[m] && c.live[m] {
+			return
+		}
+	}
+	c.completed[r.key] = true
+	if c.cur == r {
+		c.cur = nil
+		c.recoveryActive = 0
+	}
+}
+
+// CellDiedMidRound adjusts barrier membership when a member cell dies
+// while a round is in flight (multi-failure tolerance).
+func (c *Coordinator) CellDiedMidRound(cell int) {
+	r := c.cur
+	if r == nil || !r.members[cell] {
+		return
+	}
+	delete(r.members, cell)
+	if !r.b1Seen[cell] {
+		r.barrier1.SetParties(len(r.members))
+	}
+	if !r.b2Seen[cell] {
+		r.barrier2.SetParties(len(r.members))
+	}
+	c.checkRoundDone(r)
+}
+
+// reintegrate returns a repaired cell to the live set.
+func (c *Coordinator) reintegrate(cell int) {
+	c.live[cell] = true
+	delete(c.forcedDead, cell)
+}
+
+// Reintegrate is the exported form used by the cell reboot path.
+func (c *Coordinator) Reintegrate(cell int) { c.reintegrate(cell) }
+
+// Monitors exposes the registered monitors by cell (read-only use).
+func (c *Coordinator) Monitors() map[int]*Monitor { return c.monitors }
+
+// MarkDead removes a cell from the live set without agreement — used when
+// a cell panics itself (it cannot vote about its own death) and by test
+// setup.
+func (c *Coordinator) MarkDead(cell int) {
+	delete(c.live, cell)
+	if mon := c.monitors[cell]; mon != nil {
+		mon.Stop()
+	}
+	c.CellDiedMidRound(cell)
+	c.checkRoundDone(c.cur)
+}

@@ -1,0 +1,406 @@
+// Package membership implements Hive's failure detection and recovery
+// (§4.3 of the paper):
+//
+//   - Heuristic failure hints during normal operation: RPC timeouts, bus
+//     errors, clock monitoring (each cell's clock handler checks a
+//     neighbour's shared clock word every tick via the careful reference
+//     protocol), and consistency-check failures from careful reads.
+//   - Confirmation by distributed agreement before any cell is declared
+//     failed. The paper's experiments used an oracle (the agreement
+//     protocol was future work); we provide both the oracle and a real
+//     broadcast-voting protocol, selectable per configuration.
+//   - The corrupt-accuser rule: a cell that broadcasts the same alert twice
+//     and is voted down both times is itself considered corrupt.
+//   - Recovery: user processes suspended, a double global barrier
+//     synchronizing TLB flush/remote-unmap (phase 1) with firewall
+//     revocation and preemptive discard (phase 2), dependent-process
+//     killing, election of a recovery master, hardware diagnostics, and
+//     optional reboot/reintegration of repaired cells.
+package membership
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// AgreementMode selects how alerts are confirmed.
+type AgreementMode int
+
+const (
+	// Oracle consults ground truth, as the paper's experiments did
+	// ("simulated by an oracle", §4.3/§7.2).
+	Oracle AgreementMode = iota
+	// Vote runs the real probe-and-majority-vote protocol.
+	Vote
+)
+
+// Timing parameters.
+const (
+	// TickInterval is the clock interrupt period (10 ms UNIX tick).
+	TickInterval = 10 * sim.Millisecond
+	// DefaultCheckEvery is how many ticks pass between neighbour clock
+	// checks; raising it shrinks monitoring cost and widens the window
+	// of vulnerability (the §4.3 tradeoff).
+	DefaultCheckEvery = 2
+	// ProbeTimeout bounds one agreement ping.
+	ProbeTimeout = 300 * sim.Microsecond
+	// Phase1Base and Phase2Base are the fixed per-cell costs of the
+	// recovery phases (process table scans, dangling-reference cleanup);
+	// with per-page work they produce the paper's 40-80 ms recovery.
+	Phase1Base = 14 * sim.Millisecond
+	Phase2Base = 24 * sim.Millisecond
+	// DiagnosticsCost is the recovery master's hardware check of a
+	// failed node.
+	DiagnosticsCost = 25 * sim.Millisecond
+)
+
+// RPC procedure numbers (range 180-199).
+const (
+	ProcAlert rpc.ProcID = 180 + iota // failure alert broadcast
+	ProcPing                          // agreement liveness probe
+)
+
+// Hooks connect the monitor to the rest of the cell.
+type Hooks struct {
+	SuspendUser    func()
+	ResumeUser     func()
+	Phase1         func(t *sim.Task)
+	Phase2         func(t *sim.Task, failed map[int]bool) int
+	Finish         func()
+	KillDependents func(failed map[int]bool) int
+	// Panic shuts this cell down (it was declared corrupt).
+	Panic func(reason string)
+	// Reintegrate tells the cell a failed peer was repaired and
+	// rebooted; stale state about it must be dropped.
+	Reintegrate func(cell int)
+}
+
+// alertMsg is the wire form of a failure alert.
+type alertMsg struct {
+	Suspect  int
+	Accuser  int
+	Reason   string
+	Sequence int
+}
+
+// Monitor is one cell's failure detector and recovery agent.
+type Monitor struct {
+	CellID int
+	M      *machine.Machine
+	EP     *rpc.Endpoint
+	Coord  *Coordinator
+	Hooks  Hooks
+	// NodeIDs this cell owns (clock words to tick).
+	NodeIDs []int
+	// ReadNeighborClock performs the careful clock read of the given
+	// cell, returning its clock value or an error (wired to the careful
+	// reference protocol by the cell layer).
+	ReadNeighborClock func(t *sim.Task, cell int) (uint64, error)
+
+	// CheckEvery overrides DefaultCheckEvery when positive.
+	CheckEvery int
+
+	alerts    *sim.Queue
+	lastClock map[int]uint64
+	alerting  map[int]bool // suspects with an active alert from this cell
+	dead      bool
+	seq       int
+	Metrics   *stats.Registry
+}
+
+// NewMonitor builds a cell's monitor; Start must be called to launch its
+// clock and recovery tasks.
+func NewMonitor(m *machine.Machine, ep *rpc.Endpoint, coord *Coordinator, cellID int, nodeIDs []int) *Monitor {
+	mon := &Monitor{
+		CellID: cellID, M: m, EP: ep, Coord: coord, NodeIDs: nodeIDs,
+		alerts:    &sim.Queue{},
+		lastClock: make(map[int]uint64),
+		alerting:  make(map[int]bool),
+		Metrics:   stats.NewRegistry(),
+	}
+	coord.register(mon)
+	mon.registerServices()
+	return mon
+}
+
+// Start launches the clock/monitoring task and the recovery agent task.
+func (mon *Monitor) Start() {
+	eng := mon.M.Eng
+	eng.Go(fmt.Sprintf("cell%d.clock", mon.CellID), mon.clockLoop)
+	eng.Go(fmt.Sprintf("cell%d.recovery", mon.CellID), mon.recoveryLoop)
+}
+
+// Stop marks the monitor dead (its cell failed or panicked).
+func (mon *Monitor) Stop() {
+	mon.dead = true
+	mon.alerts.Close()
+}
+
+// proc returns a live local processor.
+func (mon *Monitor) proc() *machine.Processor {
+	for _, n := range mon.NodeIDs {
+		p := mon.M.Nodes[n].Procs[0]
+		if !p.Halted() {
+			return p
+		}
+	}
+	return mon.M.Nodes[mon.NodeIDs[0]].Procs[0]
+}
+
+// clockLoop ticks the cell's clock words and monitors the neighbour
+// (§4.3): a shared location that fails to increment, or a bus error on the
+// read, is a failure hint.
+func (mon *Monitor) clockLoop(t *sim.Task) {
+	tick := 0
+	for !mon.dead {
+		t.Sleep(TickInterval)
+		if mon.dead {
+			return
+		}
+		proc := mon.proc()
+		if proc.Halted() {
+			return
+		}
+		for _, n := range mon.NodeIDs {
+			if p := mon.M.Nodes[n].Procs[0]; !p.Halted() {
+				mon.M.TickClock(t, p, n)
+			}
+		}
+		every := mon.CheckEvery
+		if every <= 0 {
+			every = DefaultCheckEvery
+		}
+		tick++
+		if tick%every != 0 {
+			continue
+		}
+		nb := mon.Coord.neighborOf(mon.CellID)
+		if nb < 0 || nb == mon.CellID {
+			continue
+		}
+		val, err := mon.readClock(t, nb)
+		if err != nil {
+			mon.Hint(nb, "clock read bus error")
+			continue
+		}
+		if last, ok := mon.lastClock[nb]; ok && val == last {
+			mon.Hint(nb, "clock word failed to increment")
+		}
+		mon.lastClock[nb] = val
+	}
+}
+
+func (mon *Monitor) readClock(t *sim.Task, cell int) (uint64, error) {
+	if mon.ReadNeighborClock != nil {
+		return mon.ReadNeighborClock(t, cell)
+	}
+	return mon.M.ReadClockWord(t, mon.proc(), mon.Coord.firstNodeOf(cell))
+}
+
+// Hint receives a failure hint about a suspect cell from any detector
+// (clock monitor, RPC timeout, careful reference failure). It broadcasts an
+// alert unless one is already active for that suspect.
+func (mon *Monitor) Hint(suspect int, reason string) {
+	if mon.dead || suspect == mon.CellID || !mon.Coord.isLive(suspect) {
+		return
+	}
+	if mon.alerting[suspect] {
+		return
+	}
+	mon.alerting[suspect] = true
+	mon.seq++
+	mon.Metrics.Counter("membership.hints").Inc()
+	msg := &alertMsg{Suspect: suspect, Accuser: mon.CellID, Reason: reason, Sequence: mon.seq}
+	// Deliver locally, then broadcast. The broadcast runs as its own
+	// task since Hint may be called from interrupt/engine context.
+	mon.alerts.Push(msg)
+	mon.M.Eng.Go(fmt.Sprintf("cell%d.alertcast", mon.CellID), func(t *sim.Task) {
+		for _, c := range mon.Coord.liveSet() {
+			if c == mon.CellID || c == suspect {
+				continue
+			}
+			mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
+				rpc.CallOpts{DataBytes: 64, NoHint: true})
+		}
+	})
+}
+
+// recoveryLoop consumes alerts, runs agreement, and drives the double-
+// barrier recovery rounds.
+func (mon *Monitor) recoveryLoop(t *sim.Task) {
+	for {
+		v, ok := mon.alerts.Pop(t)
+		if !ok {
+			return
+		}
+		alert := v.(*alertMsg)
+		if mon.dead {
+			return
+		}
+		// No liveness precheck here: the verdict may already have
+		// removed the suspect from the live set while this member was
+		// still on its way to the round; ensureRound folds it in.
+		round := mon.Coord.ensureRound(alert, mon.CellID)
+		if round == nil {
+			delete(mon.alerting, alert.Suspect)
+			continue
+		}
+		mon.runRound(t, round)
+		delete(mon.alerting, alert.Suspect)
+	}
+}
+
+// runRound executes one agreement + recovery round on this cell.
+func (mon *Monitor) runRound(t *sim.Task, r *round) {
+	// All cells temporarily suspend user-level processes (§3.1).
+	if mon.Hooks.SuspendUser != nil {
+		mon.Hooks.SuspendUser()
+	}
+	mon.Metrics.Counter("membership.rounds").Inc()
+
+	// Agreement: oracle or probe-and-vote.
+	verdict := mon.Coord.agree(t, mon, r)
+
+	if mon.dead {
+		return
+	}
+	if r.corruptAccuser == mon.CellID {
+		// The other cells concluded we are corrupt: panic (shut down)
+		// rather than keep damaging the system.
+		if mon.Hooks.Panic != nil {
+			mon.Hooks.Panic("voted corrupt after repeated false alerts")
+		}
+		return
+	}
+
+	if len(verdict) == 0 {
+		// False alarm: resume. If this round branded the accuser
+		// corrupt, every other cell now alerts about the accuser.
+		if mon.Hooks.ResumeUser != nil {
+			mon.Hooks.ResumeUser()
+		}
+		accused := r.corruptAccuser
+		mon.Coord.finishRound(r, mon.CellID)
+		if accused >= 0 && accused != mon.CellID {
+			mon.Hint(accused, "corrupt after repeated voted-down alerts")
+		}
+		return
+	}
+
+	// Confirmed failure: enter recovery.
+	mon.Coord.noteRecoveryEntered(r, mon.CellID, mon.M.Eng.Now())
+	mon.Metrics.Counter("membership.recoveries").Inc()
+
+	proc := mon.proc()
+	proc.Use(t, Phase1Base)
+	if mon.Hooks.Phase1 != nil {
+		mon.Hooks.Phase1(t)
+	}
+	r.b1Seen[mon.CellID] = true
+	r.barrier1.Await(t)
+
+	proc.Use(t, Phase2Base)
+	if mon.Hooks.Phase2 != nil {
+		mon.Hooks.Phase2(t, verdict)
+	}
+	if mon.Hooks.KillDependents != nil {
+		mon.Hooks.KillDependents(verdict)
+	}
+	r.b2Seen[mon.CellID] = true
+	r.barrier2.Await(t)
+
+	if mon.Hooks.Finish != nil {
+		mon.Hooks.Finish()
+	}
+	if mon.Hooks.ResumeUser != nil {
+		mon.Hooks.ResumeUser()
+	}
+	mon.Coord.noteRecoveryDone(r, mon.CellID, mon.M.Eng.Now())
+
+	// The recovery master (lowest live cell) runs hardware diagnostics
+	// on the failed nodes and, when enabled, reboots and reintegrates
+	// them (§4.3).
+	if mon.Coord.masterOf() == mon.CellID {
+		for _, c := range sortedCells(verdict) {
+			mon.runDiagnostics(t, c)
+		}
+	}
+	mon.Coord.finishRound(r, mon.CellID)
+}
+
+// runDiagnostics checks a failed cell's nodes and reintegrates when
+// AutoReintegrate is set and the hardware passes.
+func (mon *Monitor) runDiagnostics(t *sim.Task, cell int) {
+	mon.proc().Use(t, DiagnosticsCost)
+	mon.Metrics.Counter("membership.diagnostics").Inc()
+	if !mon.Coord.AutoReintegrate {
+		return
+	}
+	healthy := true
+	for _, n := range mon.Coord.nodesOf(cell) {
+		if mon.Coord.BrokenHardware[n] {
+			healthy = false
+		}
+	}
+	if !healthy {
+		return
+	}
+	for _, n := range mon.Coord.nodesOf(cell) {
+		mon.M.Nodes[n].Repair()
+	}
+	mon.Coord.reintegrate(cell)
+	for _, peer := range mon.Coord.monitors {
+		if peer.Hooks.Reintegrate != nil && !peer.dead && peer.CellID != cell {
+			peer.Hooks.Reintegrate(cell)
+		}
+	}
+	mon.Metrics.Counter("membership.reintegrations").Inc()
+}
+
+// registerServices installs the alert and ping services.
+func (mon *Monitor) registerServices() {
+	mon.EP.Register(ProcAlert, "membership.alert",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			msg, ok := req.Args.(*alertMsg)
+			if !ok || msg.Accuser != req.From || msg.Suspect == mon.CellID {
+				// A cell alerting about *us* gets no cooperation;
+				// sanity checks defend against forged alerts.
+				return nil, 0, true, fmt.Errorf("membership: bad alert")
+			}
+			mon.alerts.Push(msg)
+			return nil, 20 * sim.Microsecond, true, nil
+		}, nil)
+
+	mon.EP.Register(ProcPing, "membership.ping",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			return "pong", 0, true, nil
+		}, nil)
+}
+
+// probe tests a suspect's liveness for the voting protocol: two pings, dead
+// only if both fail.
+func (mon *Monitor) probe(t *sim.Task, suspect int) bool {
+	for attempt := 0; attempt < 2; attempt++ {
+		_, err := mon.EP.Call(t, mon.proc(), suspect, ProcPing, nil,
+			rpc.CallOpts{Timeout: ProbeTimeout, NoHint: true})
+		if err == nil {
+			return true // alive
+		}
+	}
+	return false
+}
+
+// sortedCells returns keys ascending (determinism helper).
+func sortedCells(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Migration of sequential processes among cells for load balancing (§3.2).
+// The mechanism mirrors the address-space design: the process gets a fresh
+// COW leaf on the target cell whose parent is its old leaf (which becomes
+// an interior node, still readable through the careful reference protocol),
+// its page mappings are dropped to be re-faulted on the target, and its
+// process-table entry moves. The migrated process permanently depends on
+// its former cell — the tree's interior nodes live there.
+
+// MigrateCost covers state transfer and rescheduling.
+const MigrateCost = 2 * sim.Millisecond
+
+// Migrate moves the calling process to the target cell. It must be invoked
+// from the process's own task (migration happens at a kernel entry, not
+// preemptively). The process keeps its PID.
+func (pt *Table) Migrate(t *sim.Task, p *Process, target int) error {
+	if p.table != pt {
+		return fmt.Errorf("%w: process not on this cell", ErrBadArgs)
+	}
+	if target == pt.CellID {
+		return nil
+	}
+	dst := pt.peerTable(target)
+	if dst == nil {
+		return fmt.Errorf("%w: no table for cell %d", ErrBadArgs, target)
+	}
+	pt.Sched.System(t, MigrateCost)
+
+	// Re-home the address space: new leaf on the target, parented by the
+	// old leaf (same split as fork, but the old process identity moves).
+	_, newLeaf, err := pt.COW.Fork(t, p.Leaf, target)
+	if err != nil {
+		return err
+	}
+
+	// Drop mappings: imports release so data homes revoke write access;
+	// everything re-faults on the target cell.
+	for _, pf := range p.refs {
+		if pf.Refs > 0 {
+			pf.Refs--
+		}
+		if pf.Refs == 0 && pf.ImportedFrom >= 0 && pf.Valid {
+			pt.VM.Release(t, pf)
+		}
+	}
+	p.refs = nil
+	p.mapped = nil
+	p.anonAt = nil
+
+	delete(pt.procs, p.PID)
+	p.Leaf = newLeaf
+	p.Cell = target
+	p.table = dst
+	p.Deps[pt.CellID] = true // the old cell still holds tree interior nodes
+	p.Deps[target] = true
+	dst.procs[p.PID] = p
+	pt.Metrics.Counter("proc.migrated_out").Inc()
+	dst.Metrics.Counter("proc.migrated_in").Inc()
+	return nil
+}
+
+// peerTable finds another cell's process table through the registry the
+// tables share (populated at boot).
+func (pt *Table) peerTable(cell int) *Table {
+	if pt.peers == nil {
+		return nil
+	}
+	return pt.peers[cell]
+}
+
+// ConnectTables wires process tables so cross-cell migration can move
+// entries; called once at boot.
+func ConnectTables(tables ...*Table) {
+	reg := make(map[int]*Table, len(tables))
+	for _, tb := range tables {
+		reg[tb.CellID] = tb
+	}
+	for _, tb := range tables {
+		tb.peers = reg
+	}
+}
+
+// MigrateAdvice lets a policy (Wax) suggest a better home for processes of
+// a cell; processes act on it voluntarily at their next checkpoint.
+func (pt *Table) MigrateAdvice(target int) {
+	if target >= 0 && target != pt.CellID {
+		pt.advisedTarget = target
+	} else {
+		pt.advisedTarget = -1
+	}
+}
+
+// CheckMigration migrates the calling process if a policy advised it;
+// workload bodies call this at convenient points. It returns whether a
+// migration happened.
+func (p *Process) CheckMigration(t *sim.Task) bool {
+	pt := p.table
+	if pt.advisedTarget < 0 || p.Span != nil {
+		return false // spanning tasks don't migrate; only sequential ones
+	}
+	target := pt.advisedTarget
+	pt.advisedTarget = -1 // one process per advice
+	return pt.Migrate(t, p, target) == nil
+}
+
+// Ensure vm is linked for the Release call's documentation reference.
+var _ = vm.LogicalPage{}

@@ -1,0 +1,71 @@
+package proc
+
+import (
+	"repro/internal/cow"
+	"repro/internal/kmem"
+	"repro/internal/sim"
+)
+
+// Shared address space for spanning tasks (§3.2): a single parallel process
+// runs threads on multiple cells, and "shared process state such as the
+// address space map is kept consistent among the component processes of
+// the spanning task". The span's page map records, per shared offset, the
+// leaf (and hence data home) of the thread that first wrote the page;
+// every other thread maps the same logical page, with the usual
+// export/import machinery providing coherence and the firewall opening
+// exactly for the cells that write.
+
+// spanPages is the shared address-space map. The simulation engine is a
+// single logical thread, so plain map access is safe; claims are recorded
+// before any blocking operation to keep first-writer-wins well defined.
+type spanPages map[int64]kmem.Addr
+
+// TouchShared accesses shared page off of p's spanning task. The first
+// toucher becomes the page's data home (the page lands in its cell's
+// memory — the CC-NUMA placement the paper wants); later touches from any
+// thread map the same page.
+func (p *Process) TouchShared(t *sim.Task, off int64, write bool) error {
+	span := p.Span
+	if span == nil {
+		return p.TouchAnon(t, off, write)
+	}
+	if span.pages == nil {
+		span.pages = make(spanPages)
+	}
+	owner, claimed := span.pages[off]
+	if !claimed {
+		// First toucher claims the page at its local leaf. The claim is
+		// visible to the other threads immediately (shared map), before
+		// the blocking fault below.
+		span.pages[off] = p.Leaf
+		if err := p.table.COW.Record(p.Leaf, off); err != nil {
+			delete(span.pages, off)
+			return err
+		}
+		owner = p.Leaf
+	}
+	if owner == p.Leaf {
+		return p.TouchAnon(t, off, write)
+	}
+	pf, err := p.MapShared(t, cow.LP(owner, off), write)
+	if err != nil {
+		return err
+	}
+	return p.access(t, pf, off, write)
+}
+
+// SharedPageHome reports which cell holds a shared page (-1 if untouched);
+// tests and placement policy use it.
+func (s *Span) SharedPageHome(off int64) int {
+	if s.pages == nil {
+		return -1
+	}
+	leaf, ok := s.pages[off]
+	if !ok {
+		return -1
+	}
+	return leaf.Cell()
+}
+
+// SharedPages returns how many shared pages the span has materialized.
+func (s *Span) SharedPages() int { return len(s.pages) }

@@ -1,0 +1,461 @@
+// Package rpc implements Hive's intercell remote procedure call subsystem
+// (§6 of the paper), layered on the FLASH SIPS primitive. The design follows
+// the paper:
+//
+//   - The base system supports only requests serviced at interrupt level;
+//     the minimum null RPC latency is 7.2 µs, fast enough that the client
+//     processor spins for the reply and context-switches only after a 50 µs
+//     timeout (which almost never fires).
+//   - No retransmission or duplicate suppression: SIPS is reliable.
+//   - No fragmentation: one 128-byte line carries most argument/result data;
+//     anything larger is passed by reference through shared memory (and read
+//     with the careful reference protocol) or copied, paying the Table 5.2
+//     copy and allocate/free costs.
+//   - A queuing service and server-process pool handles longer-latency
+//     requests (minimum null queued RPC 34 µs); common services are
+//     structured as best-effort interrupt-level routines that fall back to
+//     the queued path only when they would block.
+//   - Every call carries a timeout; a timeout is a failure-detection hint
+//     about the callee cell (§4.3).
+package rpc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Component costs (ns), calibrated to §6 and Table 5.2. The null RPC totals
+// exactly 7.2 µs; a "real" interrupt-level request adds marshalling so its
+// stub + hardware component totals 9.6 µs; a request carrying more than one
+// line of data adds the shared-memory copy (4.0 µs) and argument/result
+// memory allocate/free (3.7 µs), totalling 17.3 µs of RPC cost as in
+// Table 5.2.
+const (
+	ClientSendStub  sim.Time = 1500 // marshal into the SIPS line
+	ClientRecvStub  sim.Time = 1100 // unmarshal reply
+	ServerDispatch  sim.Time = 800  // demux + service entry/exit
+	ServerReply     sim.Time = 650  // reply construction + launch overhead
+	IntrEntryExit   sim.Time = 650  // interrupt entry/exit beyond payload access
+	ExtraStubReal   sim.Time = 2000 // stub execution for non-trivial arguments (§6: 9.6 µs practical)
+	ExtraHWReal     sim.Time = 400  // extra line handling for real requests
+	CopySharedMem   sim.Time = 4000 // arg/result copy through shared memory (>1 line)
+	AllocFreeArgMem sim.Time = 3700 // allocate/free arg and result memory (>1 line)
+
+	// SpinTimeout is how long the client spins before context-switching.
+	SpinTimeout sim.Time = 50 * sim.Microsecond
+	// ContextSwitch is the cost of blocking and being rescheduled.
+	ContextSwitch sim.Time = 10 * sim.Microsecond
+	// QueueSync is the queued path's dequeue + synchronization cost
+	// (with the context switch it dominates the 34 µs queued null RPC).
+	QueueSync sim.Time = 16600
+	// DefaultTimeout bounds a whole call before it becomes a failure
+	// hint. It must comfortably exceed queued-service latencies that
+	// include disk I/O (tens of ms), or slow-but-healthy servers would
+	// be accused of failure; clock monitoring provides the fast
+	// detection path (§4.3).
+	DefaultTimeout sim.Time = 100 * sim.Millisecond
+)
+
+// Errors returned by Call.
+var (
+	// ErrTimeout means no reply arrived within the call timeout.
+	ErrTimeout = errors.New("rpc: call timed out")
+	// ErrSendFailed means the SIPS send itself failed (bus error —
+	// destination node failed or cut off).
+	ErrSendFailed = errors.New("rpc: send failed")
+	// ErrBadRequest is returned by servers that reject a sanity check.
+	ErrBadRequest = errors.New("rpc: request failed sanity check")
+	// ErrNoService means the callee has no handler for the proc number.
+	ErrNoService = errors.New("rpc: no such service")
+)
+
+// ProcID names a remote procedure.
+type ProcID int
+
+// Request is one in-flight RPC.
+type Request struct {
+	ID        uint64
+	From, To  int // cell IDs
+	Proc      ProcID
+	Args      any
+	DataBytes int // payload size; >128 engages copy/alloc costs
+
+	future *sim.Future
+	bd     *stats.Breakdown // optional component recorder (Table 5.2)
+}
+
+// reply is the wire representation of a completed call.
+type reply struct {
+	id     uint64
+	result any
+	err    string
+}
+
+// IntrHandler services a request at interrupt level. It runs in engine
+// context and must not block. It returns the result, any extra service cost
+// to charge to the server CPU's interrupt context, and handled=false to
+// fall back to the queued path (e.g. a lock was busy or I/O is needed).
+type IntrHandler func(req *Request) (result any, cost sim.Time, handled bool, err error)
+
+// QueuedHandler services a request in a server-pool task; it may block.
+type QueuedHandler func(t *sim.Task, req *Request) (any, error)
+
+type service struct {
+	name   string
+	intr   IntrHandler
+	queued QueuedHandler
+}
+
+// Endpoint is one cell's RPC engine: it owns the service table, the
+// outstanding-call map, and the queued-request server pool.
+type Endpoint struct {
+	M      *machine.Machine
+	CellID int
+	Procs  []*machine.Processor // this cell's processors
+	Peers  map[int]*Endpoint    // all endpoints by cell, for addressing
+
+	// HintSink receives failure-detection hints (timeouts, send errors).
+	HintSink func(suspectCell int, reason string)
+	// Timeout bounds calls from this endpoint; 0 means DefaultTimeout.
+	Timeout sim.Time
+	// Metrics records per-endpoint counters.
+	Metrics *stats.Registry
+
+	services map[ProcID]*service
+	pending  map[uint64]*Request
+	queue    *sim.Queue
+	nextID   uint64
+	rrProc   int
+	poolSize int
+	dead     bool
+}
+
+// NewEndpoint creates the endpoint for cell cellID using the given
+// processors and registers its SIPS receive handler on each of their nodes.
+// poolSize server tasks are started for the queued path.
+func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poolSize int) *Endpoint {
+	ep := &Endpoint{
+		M:        m,
+		CellID:   cellID,
+		Procs:    procs,
+		Peers:    map[int]*Endpoint{},
+		Metrics:  stats.NewRegistry(),
+		services: map[ProcID]*service{},
+		pending:  map[uint64]*Request{},
+		queue:    &sim.Queue{},
+		poolSize: poolSize,
+	}
+	seen := map[int]bool{}
+	for _, p := range procs {
+		if !seen[p.Node.ID] {
+			seen[p.Node.ID] = true
+			p.Node.OnSIPS = ep.onSIPS
+		}
+	}
+	for i := 0; i < poolSize; i++ {
+		m.Eng.Go(fmt.Sprintf("cell%d.rpcserver%d", cellID, i), ep.serverLoop)
+	}
+	return ep
+}
+
+// Connect wires two endpoints so they can address each other.
+func Connect(eps ...*Endpoint) {
+	for _, a := range eps {
+		for _, b := range eps {
+			a.Peers[b.CellID] = b
+		}
+	}
+}
+
+// Register installs handlers for proc. Either handler may be nil (nil intr
+// means every request takes the queued path; nil queued means an unhandled
+// interrupt-level request fails).
+func (ep *Endpoint) Register(proc ProcID, name string, intr IntrHandler, queued QueuedHandler) {
+	ep.services[proc] = &service{name: name, intr: intr, queued: queued}
+}
+
+// Shutdown marks the endpoint dead (cell panic/failure): the server pool
+// stops and no further requests are serviced.
+func (ep *Endpoint) Shutdown() {
+	ep.dead = true
+	ep.queue.Close()
+}
+
+// Dead reports whether the endpoint has been shut down.
+func (ep *Endpoint) Dead() bool { return ep.dead }
+
+// targetProc picks the destination processor on the callee cell,
+// round-robin over its non-halted processors.
+func (ep *Endpoint) targetProc(callee *Endpoint) *machine.Processor {
+	n := len(callee.Procs)
+	for i := 0; i < n; i++ {
+		p := callee.Procs[(callee.rrProc+i)%n]
+		if !p.Halted() {
+			callee.rrProc = (callee.rrProc + i + 1) % n
+			return p
+		}
+	}
+	return callee.Procs[0]
+}
+
+// CallOpts tunes one call.
+type CallOpts struct {
+	DataBytes int              // total arg+result payload bytes (0 = null)
+	Timeout   sim.Time         // overrides endpoint timeout
+	Breakdown *stats.Breakdown // records component times (Table 5.2)
+	NoHint    bool             // suppress failure hints (used by the prober)
+}
+
+// record charges a cost category both to the caller's CPU and the optional
+// breakdown recorder.
+func record(bd *stats.Breakdown, name string, d sim.Time) {
+	if bd != nil {
+		bd.Observe(name, d)
+	}
+}
+
+// Call performs a synchronous RPC from task t (running on proc) to cell
+// `to`. It returns the handler's result or an error; timeouts and send
+// failures raise failure-detection hints unless suppressed.
+func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID ProcID, args any, opts CallOpts) (any, error) {
+	bd := opts.Breakdown
+	callee, ok := ep.Peers[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown cell %d", ErrSendFailed, to)
+	}
+	ep.nextID++
+	req := &Request{
+		ID: ep.nextID, From: ep.CellID, To: to, Proc: procID,
+		Args: args, DataBytes: opts.DataBytes,
+		future: &sim.Future{}, bd: bd,
+	}
+
+	// Client stub: marshal args into the SIPS line.
+	stub := ClientSendStub
+	if opts.DataBytes > 0 {
+		stub += ExtraStubReal / 2
+	}
+	proc.Use(t, stub)
+	record(bd, "client stub (send)", stub)
+
+	// Oversize arguments: allocate arg memory and copy through shared
+	// memory (half the cost on the client side).
+	if opts.DataBytes > machine.SIPSLineBytes {
+		proc.Use(t, AllocFreeArgMem/2+CopySharedMem/2)
+		record(bd, "alloc/free arg memory (client half)", AllocFreeArgMem/2)
+		record(bd, "arg copy through shared memory (client half)", CopySharedMem/2)
+	}
+
+	ep.pending[req.ID] = req
+	defer delete(ep.pending, req.ID)
+
+	dst := ep.targetProc(callee)
+	msg := &machine.SIPSMsg{To: dst.ID, Kind: machine.SIPSRequest, Size: machine.SIPSLineBytes, Payload: req}
+	sendStart := t.Now()
+	if err := ep.M.SendSIPS(t, proc, msg); err != nil {
+		ep.Metrics.Counter("rpc.send_failures").Inc()
+		if !opts.NoHint && ep.HintSink != nil {
+			ep.HintSink(to, "rpc send bus error")
+		}
+		return nil, fmt.Errorf("%w to cell %d: %v", ErrSendFailed, to, err)
+	}
+	record(bd, "hardware message launch", t.Now()-sendStart)
+	ep.Metrics.Counter("rpc.calls").Inc()
+
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = ep.Timeout
+	}
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+
+	// Spin for the reply; context-switch after SpinTimeout (§6).
+	spin := timeout
+	if spin > SpinTimeout {
+		spin = SpinTimeout
+	}
+	val, _, ok2 := req.future.WaitTimeout(t, spin)
+	if !ok2 {
+		ep.Metrics.Counter("rpc.spin_timeouts").Inc()
+		proc.Use(t, ContextSwitch)
+		val, _, ok2 = req.future.WaitTimeout(t, timeout-spin)
+		if ok2 {
+			proc.Use(t, ContextSwitch) // switch back in
+		}
+	}
+	if !ok2 {
+		ep.Metrics.Counter("rpc.timeouts").Inc()
+		if !opts.NoHint && ep.HintSink != nil {
+			ep.HintSink(to, "rpc timeout")
+		}
+		return nil, fmt.Errorf("%w: cell %d proc %d", ErrTimeout, to, procID)
+	}
+
+	rep := val.(*reply)
+	// Client stub: unmarshal the reply.
+	stub = ClientRecvStub
+	if opts.DataBytes > 0 {
+		stub += ExtraStubReal / 2
+	}
+	proc.Use(t, stub)
+	record(bd, "client stub (receive)", stub)
+	if rep.err != "" {
+		return rep.result, errors.New(rep.err)
+	}
+	return rep.result, nil
+}
+
+// onSIPS is the hardware receive handler: it runs in interrupt context on
+// the addressed processor.
+func (ep *Endpoint) onSIPS(msg *machine.SIPSMsg) {
+	if ep.dead {
+		return
+	}
+	switch msg.Kind {
+	case machine.SIPSRequest:
+		ep.handleRequest(msg)
+	case machine.SIPSReply:
+		rep := msg.Payload.(*reply)
+		if req, ok := ep.pending[rep.id]; ok {
+			req.future.Set(rep, nil)
+		}
+	}
+}
+
+// handleRequest runs the interrupt-level service path.
+func (ep *Endpoint) handleRequest(msg *machine.SIPSMsg) {
+	req := msg.Payload.(*Request)
+	proc := ep.M.Procs[msg.To]
+	svc := ep.services[req.Proc]
+
+	// Interrupt entry + demux.
+	base := IntrEntryExit + ServerDispatch
+	if req.DataBytes > 0 {
+		base += ExtraHWReal
+	}
+
+	if svc == nil {
+		proc.Interrupt(base, func() {
+			ep.reply(proc, req, nil, ErrNoService, 0)
+		})
+		return
+	}
+	if svc.intr == nil {
+		// Straight to the queued path.
+		proc.Interrupt(base, func() { ep.enqueue(req) })
+		return
+	}
+
+	proc.Interrupt(base, func() {
+		record(req.bd, "server dispatch", base)
+		result, cost, handled, err := svc.intr(req)
+		if !handled {
+			if svc.queued == nil {
+				ep.reply(proc, req, nil, ErrBadRequest, 0)
+				return
+			}
+			ep.Metrics.Counter("rpc.intr_fallbacks").Inc()
+			ep.enqueue(req)
+			return
+		}
+		ep.Metrics.Counter("rpc.intr_served").Inc()
+		ep.reply(proc, req, result, err, cost)
+	})
+}
+
+// reply sends the reply from interrupt context after charging the service
+// cost and reply construction.
+func (ep *Endpoint) reply(proc *machine.Processor, req *Request, result any, err error, serviceCost sim.Time) {
+	cost := serviceCost + ServerReply
+	if req.DataBytes > machine.SIPSLineBytes {
+		// Server half of the copy/alloc costs.
+		cost += AllocFreeArgMem/2 + CopySharedMem/2
+		record(req.bd, "alloc/free arg memory (server half)", AllocFreeArgMem/2)
+		record(req.bd, "arg copy through shared memory (server half)", CopySharedMem/2)
+	}
+	record(req.bd, "server service", serviceCost)
+	record(req.bd, "server reply", ServerReply)
+	rep := &reply{id: req.ID}
+	rep.result = result
+	if err != nil {
+		rep.err = err.Error()
+	}
+	caller := ep.Peers[req.From]
+	if caller == nil {
+		return
+	}
+	proc.Interrupt(cost, func() {
+		dst := ep.targetProc(caller)
+		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
+			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
+		})
+	})
+}
+
+// enqueue hands a request to the server pool.
+func (ep *Endpoint) enqueue(req *Request) {
+	ep.Metrics.Counter("rpc.queued").Inc()
+	ep.queue.Push(req)
+}
+
+// serverLoop is one server-pool task: it dequeues requests, pays the
+// context-switch and synchronization costs that dominate the 34 µs queued
+// null RPC, runs the (possibly blocking) handler, and sends the completion.
+func (ep *Endpoint) serverLoop(t *sim.Task) {
+	for {
+		v, ok := ep.queue.Pop(t)
+		if !ok {
+			return
+		}
+		req := v.(*Request)
+		proc := ep.serverProc()
+		if proc == nil {
+			return // all processors halted; cell is dead
+		}
+		proc.Use(t, ContextSwitch+QueueSync)
+		svc := ep.services[req.Proc]
+		var result any
+		var err error
+		if svc == nil || svc.queued == nil {
+			err = ErrNoService
+		} else {
+			result, err = svc.queued(t, req)
+		}
+		if ep.dead {
+			return
+		}
+		proc = ep.serverProc()
+		if proc == nil {
+			return
+		}
+		// Completion RPC back to the client.
+		rep := &reply{id: req.ID, result: result}
+		if err != nil {
+			rep.err = err.Error()
+		}
+		caller := ep.Peers[req.From]
+		if caller == nil {
+			continue
+		}
+		proc.Use(t, ServerReply)
+		dst := ep.targetProc(caller)
+		ep.M.SendSIPS(t, proc, &machine.SIPSMsg{
+			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
+		})
+	}
+}
+
+// serverProc returns a live processor for server-pool execution.
+func (ep *Endpoint) serverProc() *machine.Processor {
+	for _, p := range ep.Procs {
+		if !p.Halted() {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fixture builds a 2-cell machine (one node per cell) with connected
+// endpoints.
+type fixture struct {
+	e   *sim.Engine
+	m   *machine.Machine
+	eps []*Endpoint
+}
+
+func newFixture(t *testing.T, cells int) *fixture {
+	t.Helper()
+	e := sim.NewEngine(11)
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = cells
+	cfg.MemPerNodeMB = 1
+	m := machine.New(e, cfg)
+	f := &fixture{e: e, m: m}
+	for c := 0; c < cells; c++ {
+		f.eps = append(f.eps, NewEndpoint(m, c, []*machine.Processor{m.Procs[c]}, 2))
+	}
+	Connect(f.eps...)
+	return f
+}
+
+func (f *fixture) run(t *testing.T, fn func(tk *sim.Task)) {
+	t.Helper()
+	f.e.Go("client", fn)
+	f.e.Run(0)
+}
+
+const (
+	procNull ProcID = iota
+	procEcho
+	procBig
+	procQueuedNull
+	procBlocky
+)
+
+func registerNull(ep *Endpoint) {
+	ep.Register(procNull, "null",
+		func(req *Request) (any, sim.Time, bool, error) { return nil, 0, true, nil }, nil)
+}
+
+func TestNullRPCLatency(t *testing.T) {
+	// §6: minimum end-to-end null RPC latency is 7.2 µs.
+	f := newFixture(t, 2)
+	registerNull(f.eps[1])
+	var lat sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procNull, nil, CallOpts{})
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		lat = tk.Now() - start
+	})
+	if us := lat.Micros(); us < 6.8 || us > 7.6 {
+		t.Fatalf("null RPC = %.2f µs, want ≈7.2 µs", us)
+	}
+}
+
+func TestRealRPCComponentLatency(t *testing.T) {
+	// §6: commonly-used interrupt-level requests measure 9.6 µs of RPC
+	// component (stub execution above the null RPC).
+	f := newFixture(t, 2)
+	f.eps[1].Register(procEcho, "echo",
+		func(req *Request) (any, sim.Time, bool, error) { return req.Args, 0, true, nil }, nil)
+	var lat sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procEcho, "hi", CallOpts{DataBytes: 64})
+		if err != nil || got != "hi" {
+			t.Errorf("call: %v %v", got, err)
+		}
+		lat = tk.Now() - start
+	})
+	if us := lat.Micros(); us < 9.0 || us > 10.2 {
+		t.Fatalf("real RPC = %.2f µs, want ≈9.6 µs", us)
+	}
+}
+
+func TestOversizeRPCMatchesTable52(t *testing.T) {
+	// Table 5.2: the remote fault's RPC component is 17.3 µs — stubs,
+	// hardware, the >1-line copy through shared memory, and arg memory
+	// alloc/free.
+	f := newFixture(t, 2)
+	f.eps[1].Register(procBig, "big",
+		func(req *Request) (any, sim.Time, bool, error) { return nil, 0, true, nil }, nil)
+	var lat sim.Time
+	bd := stats.NewBreakdown()
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procBig, nil,
+			CallOpts{DataBytes: 512, Breakdown: bd})
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		lat = tk.Now() - start
+	})
+	if us := lat.Micros(); us < 16.4 || us > 18.2 {
+		t.Fatalf("oversize RPC = %.2f µs, want ≈17.3 µs", us)
+	}
+	if len(bd.Components()) < 5 {
+		t.Fatalf("breakdown too coarse: %v", bd.Components())
+	}
+}
+
+func TestQueuedNullRPCLatency(t *testing.T) {
+	// §6: minimum end-to-end null queued RPC latency is 34 µs.
+	f := newFixture(t, 2)
+	f.eps[1].Register(procQueuedNull, "queued-null", nil,
+		func(t *sim.Task, req *Request) (any, error) { return nil, nil })
+	var lat sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procQueuedNull, nil, CallOpts{})
+		if err != nil {
+			t.Errorf("call: %v", err)
+		}
+		lat = tk.Now() - start
+	})
+	if us := lat.Micros(); us < 31 || us > 37 {
+		t.Fatalf("queued null RPC = %.2f µs, want ≈34 µs", us)
+	}
+}
+
+func TestIntrFallbackToQueued(t *testing.T) {
+	// Best-effort interrupt-level service that falls back (§6): the
+	// first attempt reports not-handled, the queued handler completes.
+	f := newFixture(t, 2)
+	intrTried := false
+	f.eps[1].Register(procBlocky, "blocky",
+		func(req *Request) (any, sim.Time, bool, error) {
+			intrTried = true
+			return nil, 0, false, nil // "lock busy"
+		},
+		func(t *sim.Task, req *Request) (any, error) { return "queued-result", nil })
+	f.run(t, func(tk *sim.Task) {
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procBlocky, nil, CallOpts{})
+		if err != nil || got != "queued-result" {
+			t.Errorf("got %v, %v", got, err)
+		}
+	})
+	if !intrTried {
+		t.Fatal("interrupt-level path never tried")
+	}
+	if f.eps[1].Metrics.Counter("rpc.intr_fallbacks").Value() != 1 {
+		t.Fatal("fallback not counted")
+	}
+}
+
+func TestCallToFailedCellTimesOutWithHint(t *testing.T) {
+	f := newFixture(t, 2)
+	registerNull(f.eps[1])
+	var hints []int
+	f.eps[0].HintSink = func(cell int, reason string) { hints = append(hints, cell) }
+	var start, end sim.Time
+	f.run(t, func(tk *sim.Task) {
+		// Fail the callee after the send is in flight: halt only the
+		// processor so the send succeeds but no service runs.
+		f.m.Procs[1].Halt()
+		start = tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procNull, nil,
+			CallOpts{Timeout: 500 * sim.Microsecond})
+		end = tk.Now()
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if len(hints) != 1 || hints[0] != 1 {
+		t.Fatalf("hints = %v", hints)
+	}
+	if d := end - start; d < 500*sim.Microsecond {
+		t.Fatalf("returned before timeout: %v", d)
+	}
+}
+
+func TestCallToFailStoppedNodeFailsFast(t *testing.T) {
+	// A fully failed node produces an immediate bus error on the SIPS
+	// send — the fault model's no-indefinite-stall guarantee.
+	f := newFixture(t, 2)
+	f.m.Nodes[1].FailStop()
+	var hints int
+	f.eps[0].HintSink = func(cell int, reason string) { hints++ }
+	f.run(t, func(tk *sim.Task) {
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procNull, nil, CallOpts{})
+		if !errors.Is(err, ErrSendFailed) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if hints != 1 {
+		t.Fatalf("hints = %d", hints)
+	}
+}
+
+func TestNoServiceError(t *testing.T) {
+	f := newFixture(t, 2)
+	f.run(t, func(tk *sim.Task) {
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, ProcID(99), nil, CallOpts{})
+		if err == nil || err.Error() != ErrNoService.Error() {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	f := newFixture(t, 2)
+	f.eps[1].Register(procEcho, "err",
+		func(req *Request) (any, sim.Time, bool, error) {
+			return nil, 0, true, fmt.Errorf("server says no")
+		}, nil)
+	f.run(t, func(tk *sim.Task) {
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procEcho, nil, CallOpts{})
+		if err == nil || err.Error() != "server says no" {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestConcurrentCallsFromManyCells(t *testing.T) {
+	f := newFixture(t, 4)
+	served := 0
+	f.eps[0].Register(procEcho, "count",
+		func(req *Request) (any, sim.Time, bool, error) {
+			served++
+			return served, 2000, true, nil
+		}, nil)
+	var wg sim.WaitGroup
+	wg.Add(3)
+	for c := 1; c < 4; c++ {
+		c := c
+		f.e.Go(fmt.Sprintf("client%d", c), func(tk *sim.Task) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := f.eps[c].Call(tk, f.m.Procs[c], 0, procEcho, nil, CallOpts{}); err != nil {
+					t.Errorf("cell %d call %d: %v", c, i, err)
+				}
+			}
+		})
+	}
+	f.e.Go("waiter", func(tk *sim.Task) { wg.Wait(tk) })
+	f.e.Run(0)
+	if served != 30 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestShutdownStopsService(t *testing.T) {
+	f := newFixture(t, 2)
+	registerNull(f.eps[1])
+	f.eps[1].Shutdown()
+	f.run(t, func(tk *sim.Task) {
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procNull, nil,
+			CallOpts{Timeout: 200 * sim.Microsecond, NoHint: true})
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	if !f.eps[1].Dead() {
+		t.Fatal("endpoint not dead")
+	}
+}
+
+func TestQueuedHandlerMayBlock(t *testing.T) {
+	f := newFixture(t, 2)
+	f.eps[1].Register(procBlocky, "sleepy", nil,
+		func(t *sim.Task, req *Request) (any, error) {
+			t.Sleep(300 * sim.Microsecond) // e.g. disk I/O
+			return "slow", nil
+		})
+	var lat sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procBlocky, nil, CallOpts{})
+		lat = tk.Now() - start
+		if err != nil || got != "slow" {
+			t.Errorf("got %v, %v", got, err)
+		}
+	})
+	if lat < 300*sim.Microsecond {
+		t.Fatalf("latency %v shorter than handler sleep", lat)
+	}
+}
+
+func TestServerPoolParallelism(t *testing.T) {
+	// Two pool servers should overlap two blocking requests.
+	f := newFixture(t, 3)
+	f.eps[0].Register(procBlocky, "sleepy", nil,
+		func(t *sim.Task, req *Request) (any, error) {
+			t.Sleep(1 * sim.Millisecond)
+			return nil, nil
+		})
+	var done sim.Time
+	var wg sim.WaitGroup
+	wg.Add(2)
+	for c := 1; c < 3; c++ {
+		c := c
+		f.e.Go(fmt.Sprintf("client%d", c), func(tk *sim.Task) {
+			defer wg.Done()
+			f.eps[c].Call(tk, f.m.Procs[c], 0, procBlocky, nil, CallOpts{Timeout: 10 * sim.Millisecond})
+		})
+	}
+	f.e.Go("waiter", func(tk *sim.Task) {
+		wg.Wait(tk)
+		done = tk.Now()
+	})
+	f.e.Run(0)
+	if done > 2*sim.Millisecond {
+		t.Fatalf("blocking requests serialized: done at %v", done)
+	}
+}
+
+func TestBreakdownRecordsComponents(t *testing.T) {
+	f := newFixture(t, 2)
+	f.eps[1].Register(procBig, "big",
+		func(req *Request) (any, sim.Time, bool, error) { return nil, 0, true, nil }, nil)
+	bd := stats.NewBreakdown()
+	f.run(t, func(tk *sim.Task) {
+		f.eps[0].Call(tk, f.m.Procs[0], 1, procBig, nil,
+			CallOpts{DataBytes: 512, Breakdown: bd})
+	})
+	// The recorded components must include both client halves and the
+	// server-side shares, and their total approximates the 17.3 µs call.
+	total := bd.MeanTotal()
+	if total < 14 || total > 19 {
+		t.Fatalf("breakdown total = %.1f µs", total)
+	}
+	names := bd.Components()
+	want := []string{"client stub (send)", "server dispatch", "server reply"}
+	for _, w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("component %q missing from %v", w, names)
+		}
+	}
+}
+
+func TestTargetProcSkipsHalted(t *testing.T) {
+	// A cell with two processors keeps serving when one halts.
+	e := sim.NewEngine(5)
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.ProcsPerNode = 2
+	cfg.MemPerNodeMB = 1
+	m := machine.New(e, cfg)
+	ep0 := NewEndpoint(m, 0, m.Nodes[0].Procs, 2)
+	ep1 := NewEndpoint(m, 1, m.Nodes[1].Procs, 2)
+	Connect(ep0, ep1)
+	registerNull(ep1)
+	m.Procs[2].Halt() // cell 1's first CPU
+	ok := false
+	e.Go("client", func(tk *sim.Task) {
+		for i := 0; i < 4; i++ {
+			if _, err := ep0.Call(tk, m.Procs[0], 1, procNull, nil, CallOpts{}); err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+		}
+		ok = true
+	})
+	e.Run(sim.Second)
+	if !ok {
+		t.Fatal("calls failed with one CPU halted")
+	}
+}

@@ -1,0 +1,206 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newSched(t *testing.T, cpus int) (*sim.Engine, *Scheduler, *machine.Machine) {
+	t.Helper()
+	e := sim.NewEngine(13)
+	cfg := machine.DefaultConfig()
+	cfg.Nodes = cpus
+	cfg.MemPerNodeMB = 1
+	m := machine.New(e, cfg)
+	return e, New(0, m.Procs), m
+}
+
+func TestComputeSingleCPUSerializes(t *testing.T) {
+	e, s, _ := newSched(t, 1)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(tk *sim.Task) {
+			s.Compute(tk, 30*sim.Millisecond)
+			ends = append(ends, tk.Now())
+		})
+	}
+	e.Run(0)
+	if len(ends) != 2 {
+		t.Fatalf("ends = %v", ends)
+	}
+	// Two 30 ms jobs on one CPU: total wall ≥ 60 ms (plus switches).
+	last := ends[1]
+	if ends[0] > last {
+		last = ends[0]
+	}
+	if last < 60*sim.Millisecond {
+		t.Fatalf("finished at %v — jobs overlapped on one CPU", last)
+	}
+}
+
+func TestComputeTimeslicesInterleave(t *testing.T) {
+	e, s, _ := newSched(t, 1)
+	var firstDone, secondDone sim.Time
+	e.Go("long", func(tk *sim.Task) {
+		s.Compute(tk, 100*sim.Millisecond)
+		firstDone = tk.Now()
+	})
+	e.Go("short", func(tk *sim.Task) {
+		s.Compute(tk, 10*sim.Millisecond)
+		secondDone = tk.Now()
+	})
+	e.Run(0)
+	// The short job must not wait for the whole long job: with 10 ms
+	// slices it finishes far before the long one.
+	if secondDone >= firstDone {
+		t.Fatalf("short=%v long=%v — no timeslicing", secondDone, firstDone)
+	}
+}
+
+func TestComputeParallelOnTwoCPUs(t *testing.T) {
+	e, s, _ := newSched(t, 2)
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(tk *sim.Task) {
+			s.Compute(tk, 30*sim.Millisecond)
+			ends = append(ends, tk.Now())
+		})
+	}
+	e.Run(0)
+	for _, end := range ends {
+		if end > 35*sim.Millisecond {
+			t.Fatalf("end = %v — jobs serialized despite two CPUs", end)
+		}
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	e, s, _ := newSched(t, 1)
+	var resumedAt sim.Time
+	e.Go("user", func(tk *sim.Task) {
+		s.Compute(tk, 5*sim.Millisecond)
+		s.Compute(tk, 5*sim.Millisecond) // blocked while frozen
+		resumedAt = tk.Now()
+	})
+	e.At(2*sim.Millisecond, func() { s.Freeze() })
+	e.At(50*sim.Millisecond, func() { s.Thaw() })
+	e.Run(0)
+	if !((resumedAt >= 50*sim.Millisecond) && resumedAt < 70*sim.Millisecond) {
+		t.Fatalf("resumed at %v, want shortly after thaw at 50ms", resumedAt)
+	}
+	if s.Frozen() {
+		t.Fatal("still frozen")
+	}
+}
+
+func TestSystemNotFrozen(t *testing.T) {
+	// Kernel-mode work proceeds during recovery's user freeze (§4.3).
+	e, s, _ := newSched(t, 1)
+	s.Freeze()
+	var done sim.Time
+	e.Go("kernel", func(tk *sim.Task) {
+		s.System(tk, 5*sim.Millisecond)
+		done = tk.Now()
+	})
+	e.Run(100 * sim.Millisecond)
+	if done == 0 || done > 10*sim.Millisecond {
+		t.Fatalf("kernel work done at %v despite freeze", done)
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	e, s, _ := newSched(t, 4)
+	if !s.Reserve(2) {
+		t.Fatal("reserve failed")
+	}
+	if s.CPUCount() != 2 {
+		t.Fatalf("cpu count = %d", s.CPUCount())
+	}
+	if s.Reserve(4) {
+		t.Fatal("over-reservation accepted")
+	}
+	if !s.Reserve(0) {
+		t.Fatal("release failed")
+	}
+	if s.CPUCount() != 4 {
+		t.Fatalf("cpu count = %d", s.CPUCount())
+	}
+	_ = e
+}
+
+func TestReserveLimitsParallelism(t *testing.T) {
+	e, s, _ := newSched(t, 2)
+	s.Reserve(1) // one CPU space-shared away
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		e.Go(fmt.Sprintf("p%d", i), func(tk *sim.Task) {
+			s.Compute(tk, 20*sim.Millisecond)
+			ends = append(ends, tk.Now())
+		})
+	}
+	e.Run(0)
+	var max sim.Time
+	for _, v := range ends {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 40*sim.Millisecond {
+		t.Fatalf("finished at %v — reservation not honoured", max)
+	}
+}
+
+func TestGangComputeHoldsAllCPUs(t *testing.T) {
+	e, s, _ := newSched(t, 2)
+	var gangDone, otherDone sim.Time
+	e.Go("gang", func(tk *sim.Task) {
+		s.GangCompute(tk, 20*sim.Millisecond)
+		gangDone = tk.Now()
+	})
+	e.Go("other", func(tk *sim.Task) {
+		tk.Sleep(sim.Millisecond)
+		s.Compute(tk, 5*sim.Millisecond)
+		otherDone = tk.Now()
+	})
+	e.Run(0)
+	if otherDone < gangDone {
+		t.Fatalf("other (%v) ran during the gang burst (ends %v)", otherDone, gangDone)
+	}
+	if s.Metrics.Counter("sched.gang_bursts").Value() != 1 {
+		t.Fatal("gang burst not counted")
+	}
+}
+
+func TestPickSkipsHaltedCPUs(t *testing.T) {
+	e, s, m := newSched(t, 2)
+	m.Procs[0].Halt()
+	done := false
+	e.Go("p", func(tk *sim.Task) {
+		s.Compute(tk, 5*sim.Millisecond)
+		done = true
+	})
+	e.Run(sim.Second)
+	if !done {
+		t.Fatal("compute stuck on halted CPU")
+	}
+}
+
+func TestBatchPolicyRunsToCompletion(t *testing.T) {
+	// §8 heterogeneous management: a Batch cell runs jobs to completion,
+	// so a short job behind a long one waits for the whole long job.
+	e, s, _ := newSched(t, 1)
+	s.Policy = Batch
+	var shortDone sim.Time
+	e.Go("long", func(tk *sim.Task) { s.Compute(tk, 100*sim.Millisecond) })
+	e.Go("short", func(tk *sim.Task) {
+		s.Compute(tk, 5*sim.Millisecond)
+		shortDone = tk.Now()
+	})
+	e.Run(0)
+	if shortDone < 100*sim.Millisecond {
+		t.Fatalf("short finished at %v — Batch policy timesliced", shortDone)
+	}
+}

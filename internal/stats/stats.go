@@ -1,0 +1,334 @@
+// Package stats provides the measurement infrastructure used to regenerate
+// the paper's tables: counters, latency distributions, named latency
+// component breakdowns (Table 5.2), and periodic samplers (the 20 ms
+// firewall-page samples of §4.2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Value returns the count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Distribution accumulates latency (or other) samples and reports summary
+// statistics. Samples are stored, so use for bounded-cardinality series.
+type Distribution struct {
+	samples []float64
+	sum     float64
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sum += v
+}
+
+// ObserveTime records a sim.Time sample in microseconds.
+func (d *Distribution) ObserveTime(t sim.Time) { d.Observe(t.Micros()) }
+
+// N returns the sample count.
+func (d *Distribution) N() int { return len(d.samples) }
+
+// Sum returns the total of all samples.
+func (d *Distribution) Sum() float64 { return d.sum }
+
+// Mean returns the average, or 0 with no samples.
+func (d *Distribution) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (d *Distribution) Min() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	m := d.samples[0]
+	for _, v := range d.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or 0 with none.
+func (d *Distribution) Max() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	m := d.samples[0]
+	for _, v := range d.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0-100) by nearest-rank.
+func (d *Distribution) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), d.samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Stddev returns the population standard deviation.
+func (d *Distribution) Stddev() float64 {
+	if len(d.samples) < 2 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(d.samples)))
+}
+
+// Breakdown accumulates named latency components, preserving insertion
+// order, to regenerate component tables like Table 5.2.
+type Breakdown struct {
+	order []string
+	comps map[string]*Distribution
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{comps: make(map[string]*Distribution)}
+}
+
+// Observe records a sample for the named component.
+func (b *Breakdown) Observe(name string, t sim.Time) {
+	d, ok := b.comps[name]
+	if !ok {
+		d = &Distribution{}
+		b.comps[name] = d
+		b.order = append(b.order, name)
+	}
+	d.ObserveTime(t)
+}
+
+// Component returns the distribution for name (nil if never observed).
+func (b *Breakdown) Component(name string) *Distribution { return b.comps[name] }
+
+// Components returns component names in insertion order.
+func (b *Breakdown) Components() []string { return append([]string(nil), b.order...) }
+
+// MeanTotal returns the sum of the component means (µs).
+func (b *Breakdown) MeanTotal() float64 {
+	var total float64
+	for _, name := range b.order {
+		total += b.comps[name].Mean()
+	}
+	return total
+}
+
+// Format renders the breakdown as aligned rows of "name  mean-µs".
+func (b *Breakdown) Format() string {
+	var sb strings.Builder
+	for _, name := range b.order {
+		fmt.Fprintf(&sb, "  %-42s %7.1f us\n", name, b.comps[name].Mean())
+	}
+	fmt.Fprintf(&sb, "  %-42s %7.1f us\n", "TOTAL", b.MeanTotal())
+	return sb.String()
+}
+
+// Sampler records a value at fixed virtual-time intervals; used for the
+// remotely-writable-page samples (§4.2: 5.0 s sampled at 20 ms).
+type Sampler struct {
+	Interval sim.Time
+	values   []float64
+	stopped  bool
+}
+
+// Start begins sampling fn every Interval on the engine until Stop.
+func (s *Sampler) Start(e *sim.Engine, fn func() float64) {
+	if s.Interval <= 0 {
+		s.Interval = 20 * sim.Millisecond
+	}
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.values = append(s.values, fn())
+		e.After(s.Interval, tick)
+	}
+	e.After(s.Interval, tick)
+}
+
+// Stop ends sampling.
+func (s *Sampler) Stop() { s.stopped = true }
+
+// Values returns the recorded samples.
+func (s *Sampler) Values() []float64 { return append([]float64(nil), s.values...) }
+
+// Mean returns the average sample, or 0 with none.
+func (s *Sampler) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest sample, or 0 with none.
+func (s *Sampler) Max() float64 {
+	var m float64
+	for _, v := range s.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Table builds aligned text tables for the benchmark harness output.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends one row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Registry is a named collection of counters and distributions, one per
+// cell/kernel, so experiments can pull out whichever metrics they report.
+type Registry struct {
+	counters map[string]*Counter
+	dists    map[string]*Distribution
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		dists:    make(map[string]*Distribution),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Dist returns (creating if needed) the named distribution.
+func (r *Registry) Dist(name string) *Distribution {
+	d, ok := r.dists[name]
+	if !ok {
+		d = &Distribution{}
+		r.dists[name] = d
+	}
+	return d
+}
+
+// CounterNames returns all counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot renders every nonzero counter; for debugging and cmd output.
+func (r *Registry) Snapshot() string {
+	var sb strings.Builder
+	for _, n := range r.CounterNames() {
+		if v := r.counters[n].Value(); v != 0 {
+			fmt.Fprintf(&sb, "  %-40s %12d\n", n, v)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+}
+
+func TestDistributionSummary(t *testing.T) {
+	var d Distribution
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		d.Observe(v)
+	}
+	if d.N() != 5 || d.Sum() != 15 || d.Mean() != 3 {
+		t.Fatalf("n=%d sum=%f mean=%f", d.N(), d.Sum(), d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 5 {
+		t.Fatalf("min=%f max=%f", d.Min(), d.Max())
+	}
+	if p := d.Percentile(50); p != 3 {
+		t.Fatalf("p50 = %f", p)
+	}
+	if p := d.Percentile(100); p != 5 {
+		t.Fatalf("p100 = %f", p)
+	}
+	if s := d.Stddev(); math.Abs(s-math.Sqrt(2)) > 1e-9 {
+		t.Fatalf("stddev = %f", s)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	var d Distribution
+	if d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 || d.Percentile(50) != 0 || d.Stddev() != 0 {
+		t.Fatal("empty distribution not all-zero")
+	}
+}
+
+func TestObserveTimeConvertsToMicros(t *testing.T) {
+	var d Distribution
+	d.ObserveTime(3 * sim.Microsecond)
+	if d.Mean() != 3 {
+		t.Fatalf("mean = %f µs", d.Mean())
+	}
+}
+
+func TestBreakdownOrderAndTotal(t *testing.T) {
+	b := NewBreakdown()
+	b.Observe("beta", 2*sim.Microsecond)
+	b.Observe("alpha", 1*sim.Microsecond)
+	b.Observe("beta", 4*sim.Microsecond)
+	if got := b.Components(); len(got) != 2 || got[0] != "beta" || got[1] != "alpha" {
+		t.Fatalf("components = %v", got)
+	}
+	if b.MeanTotal() != 4 { // beta mean 3 + alpha mean 1
+		t.Fatalf("total = %f", b.MeanTotal())
+	}
+	out := b.Format()
+	if !strings.Contains(out, "beta") || !strings.Contains(out, "TOTAL") {
+		t.Fatalf("format = %q", out)
+	}
+}
+
+func TestSampler(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := &Sampler{Interval: 10 * sim.Millisecond}
+	v := 0.0
+	s.Start(e, func() float64 { v++; return v })
+	e.Run(55 * sim.Millisecond)
+	s.Stop()
+	e.Run(100 * sim.Millisecond)
+	if n := len(s.Values()); n != 5 {
+		t.Fatalf("samples = %d, want 5", n)
+	}
+	if s.Mean() != 3 || s.Max() != 5 {
+		t.Fatalf("mean=%f max=%f", s.Mean(), s.Max())
+	}
+}
+
+func TestSamplerDefaultInterval(t *testing.T) {
+	e := sim.NewEngine(1)
+	s := &Sampler{}
+	s.Start(e, func() float64 { return 1 })
+	e.Run(45 * sim.Millisecond)
+	if len(s.Values()) != 2 { // 20 ms default: samples at 20, 40
+		t.Fatalf("samples = %d", len(s.Values()))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "22", "ignored-extra")
+	out := tb.String()
+	if !strings.HasPrefix(out, "title\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Fatalf("header/separator malformed: %q", out)
+	}
+	// Columns align: the "value" column starts at the same offset in
+	// every row.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "1") || !strings.HasPrefix(lines[4][idx:], "22") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Counter("a").Inc()
+	if r.Counter("a").Value() != 3 {
+		t.Fatal("counter identity broken")
+	}
+	if names := r.CounterNames(); len(names) != 2 || names[0] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+	snap := r.Snapshot()
+	if !strings.Contains(snap, "a") || !strings.Contains(snap, "3") {
+		t.Fatalf("snapshot = %q", snap)
+	}
+	r.Dist("lat").Observe(1.5)
+	if r.Dist("lat").N() != 1 {
+		t.Fatal("dist identity broken")
+	}
+}
+
+// Property: Mean is always between Min and Max, and Percentile is monotone.
+func TestPropertyDistributionInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var d Distribution
+		for _, v := range vals {
+			// Skip pathological magnitudes where the running sum
+			// itself overflows/loses precision; latencies are small.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				return true
+			}
+			d.Observe(v)
+		}
+		if d.Mean() < d.Min()-1e-9 || d.Mean() > d.Max()+1e-9 {
+			return false
+		}
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := d.Percentile(p)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

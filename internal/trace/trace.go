@@ -1,0 +1,137 @@
+// Package trace provides the lightweight event-trace facility used for
+// post-fault analysis. §7.4 credits SimOS's deterministic replay with
+// making it "straightforward to analyze the complex series of events that
+// follow after a software fault"; our simulation is equally deterministic,
+// and this ring buffer gives the same forensic view without re-running:
+// each cell records its kernel-visible events (hints, alerts, recovery
+// phases, panics, discards), and the buffer is dumped when a cell dies or
+// on demand.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// Hint is a failure-detection hint raised or received.
+	Hint Kind = iota
+	// Alert is an agreement alert broadcast.
+	Alert
+	// Recovery marks recovery phase transitions.
+	Recovery
+	// Discard records a preemptively discarded page.
+	Discard
+	// Panic is a cell panic.
+	Panic
+	// Kill is a process killed by recovery.
+	Kill
+	// Info is anything else worth keeping.
+	Info
+)
+
+// String names the kind for trace rendering.
+func (k Kind) String() string {
+	switch k {
+	case Hint:
+		return "HINT"
+	case Alert:
+		return "ALERT"
+	case Recovery:
+		return "RECOVERY"
+	case Discard:
+		return "DISCARD"
+	case Panic:
+		return "PANIC"
+	case Kill:
+		return "KILL"
+	default:
+		return "INFO"
+	}
+}
+
+// Entry is one recorded event.
+type Entry struct {
+	At   sim.Time
+	Cell int
+	Kind Kind
+	What string
+}
+
+// String renders one trace line.
+func (e Entry) String() string {
+	return fmt.Sprintf("[%12v] cell%d %-8s %s", e.At, e.Cell, e.Kind, e.What)
+}
+
+// Ring is a fixed-capacity event buffer. The zero value is unusable; use
+// NewRing. Not safe for real concurrency — like everything in the
+// simulation it runs on the engine's single logical thread.
+type Ring struct {
+	cap     int
+	entries []Entry
+	next    int
+	wrapped bool
+}
+
+// NewRing returns a ring holding the last n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 256
+	}
+	return &Ring{cap: n, entries: make([]Entry, n)}
+}
+
+// Record appends an event.
+func (r *Ring) Record(at sim.Time, cell int, kind Kind, format string, args ...any) {
+	r.entries[r.next] = Entry{At: at, Cell: cell, Kind: kind, What: fmt.Sprintf(format, args...)}
+	r.next++
+	if r.next == r.cap {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Len reports how many events are held.
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return r.cap
+	}
+	return r.next
+}
+
+// Entries returns the events oldest-first.
+func (r *Ring) Entries() []Entry {
+	if !r.wrapped {
+		return append([]Entry(nil), r.entries[:r.next]...)
+	}
+	out := make([]Entry, 0, r.cap)
+	out = append(out, r.entries[r.next:]...)
+	out = append(out, r.entries[:r.next]...)
+	return out
+}
+
+// Dump renders the buffer for a post-mortem.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Entries() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Filter returns the events of one kind, oldest-first.
+func (r *Ring) Filter(k Kind) []Entry {
+	var out []Entry
+	for _, e := range r.Entries() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

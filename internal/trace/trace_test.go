@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecordAndEntries(t *testing.T) {
+	r := NewRing(8)
+	r.Record(10, 0, Hint, "suspect %d", 2)
+	r.Record(20, 1, Panic, "boom")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	es := r.Entries()
+	if es[0].Kind != Hint || es[1].Kind != Panic {
+		t.Fatalf("entries = %v", es)
+	}
+	if es[0].What != "suspect 2" {
+		t.Fatalf("what = %q", es[0].What)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(sim.Time(i), 0, Info, "e%d", i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	es := r.Entries()
+	if es[0].What != "e6" || es[3].What != "e9" {
+		t.Fatalf("wrap order: %v", es)
+	}
+}
+
+func TestDumpAndFilter(t *testing.T) {
+	r := NewRing(8)
+	r.Record(1, 0, Hint, "a")
+	r.Record(2, 1, Recovery, "b")
+	r.Record(3, 2, Hint, "c")
+	dump := r.Dump()
+	if !strings.Contains(dump, "HINT") || !strings.Contains(dump, "RECOVERY") {
+		t.Fatalf("dump = %q", dump)
+	}
+	hints := r.Filter(Hint)
+	if len(hints) != 2 || hints[1].What != "c" {
+		t.Fatalf("filter = %v", hints)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Hint; k <= Info; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	r := NewRing(0)
+	r.Record(1, 0, Info, "x")
+	if r.Len() != 1 {
+		t.Fatal("default-capacity ring broken")
+	}
+}

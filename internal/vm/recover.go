@@ -1,0 +1,188 @@
+package vm
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Recovery (§4.3). The membership layer drives each cell through two
+// phases separated by global barriers:
+//
+//   Phase 1 (before the first barrier): user processes are suspended, new
+//   page faults are held up client-side, processor TLBs are flushed, and
+//   all remote mappings are removed — guaranteeing a later access to a
+//   discarded page faults and sends an RPC to the page's owner, where it
+//   can be checked against the file generation number.
+//
+//   Phase 2 (between the barriers): each cell revokes every firewall write
+//   permission it granted to other cells, preemptively discards all pages
+//   that were writable by a failed cell (notifying the file system about
+//   dirty ones), reclaims frames loaned to failed cells, and drops frames
+//   borrowed from them.
+//
+// After the second barrier, RecoveryFinish releases held faults.
+
+// TLBFlushCost is the per-processor cost of flushing the TLB and walking
+// address spaces to remove remote mappings.
+const TLBFlushCost sim.Time = 25 * sim.Microsecond
+
+// RecoveryPhase1 holds up faults, flushes TLBs, and removes all remote
+// mappings (imports). It runs before the cell joins the first barrier.
+func (v *VM) RecoveryPhase1(t *sim.Task) {
+	v.holdFaults = true
+	for _, n := range v.NodeIDs {
+		if p := v.procForNode[n]; !p.Halted() {
+			p.Use(t, TLBFlushCost)
+		}
+	}
+	// Remove every imported page: the extended pfdats go away and any
+	// process holding a mapping will re-fault after recovery.
+	for lp, pf := range v.hash {
+		if pf.ImportedFrom >= 0 {
+			pf.ImportedFrom = -1 // neutralize so stale Unref sends no RPC
+			pf.ImpWritable = false
+			pf.Valid = false
+			delete(v.hash, lp)
+			if pf.Extended {
+				delete(v.frames, pf.Frame)
+			}
+			v.Metrics.Counter("vm.recovery_imports_dropped").Inc()
+		}
+	}
+}
+
+// RecoveryPhase2 revokes remote firewall grants, preemptively discards
+// pages writable by failed cells, and cleans up loans/borrows involving
+// them. It runs between the two barriers and returns the number of pages
+// discarded. failed maps cell IDs that the agreement round declared dead.
+func (v *VM) RecoveryPhase2(t *sim.Task, failed map[int]bool) (discarded int) {
+	// 1. Local frames: revoke all remote write permission, discard pages
+	// writable by a failed cell (the pessimistic assumption of §3.1: all
+	// potentially damaged pages are treated as corrupted). Frames are
+	// visited in page order so recovery is deterministic.
+	for _, f := range v.sortedFrames() {
+		pf := v.frames[f]
+		if !v.localFrame(f) {
+			continue
+		}
+		doomed := false
+		for c := range pf.writable {
+			if failed[c] {
+				doomed = true
+			}
+		}
+		if len(pf.writable) > 0 {
+			v.M.SetFirewall(t, v.proc(f), f, v.homeMask(f))
+		}
+		pf.writable = nil
+		pf.exports = nil
+		if doomed && pf.Valid {
+			v.discardPage(pf)
+			discarded++
+		}
+		// 2. Frames loaned to failed cells come back scrubbed: the
+		// borrower could have written anything into them.
+		if pf.LoanedTo >= 0 && failed[pf.LoanedTo] {
+			pf.LoanedTo = -1
+			v.M.SetFirewall(t, v.proc(f), f, v.homeMask(f))
+			v.M.ScrubPage(f, 0)
+			if pf.Valid {
+				v.discardPage(pf)
+				discarded++
+			}
+			v.free = append(v.free, f)
+			v.Metrics.Counter("vm.recovery_loans_reclaimed").Inc()
+		}
+	}
+
+	// 3. Frames borrowed from failed cells are gone with their memory.
+	var deadFree []int
+	for i, f := range v.free {
+		if pf := v.frames[f]; pf != nil && pf.BorrowedFrom >= 0 && failed[pf.BorrowedFrom] {
+			deadFree = append(deadFree, i)
+		}
+	}
+	for i := len(deadFree) - 1; i >= 0; i-- {
+		idx := deadFree[i]
+		delete(v.frames, v.free[idx])
+		v.free = append(v.free[:idx], v.free[idx+1:]...)
+	}
+	for _, f := range v.sortedFrames() {
+		pf := v.frames[f]
+		if pf.BorrowedFrom >= 0 && failed[pf.BorrowedFrom] {
+			// The page's data lived in failed memory: discard it.
+			if pf.Valid {
+				v.discardPage(pf)
+				discarded++
+			}
+			delete(v.frames, f)
+			v.Metrics.Counter("vm.recovery_borrows_lost").Inc()
+		}
+	}
+	v.Metrics.Counter("vm.recovery_discards").Add(int64(discarded))
+	return discarded
+}
+
+// discardPage removes a page from the cache, bumping the file generation if
+// it was dirty (the data-loss record of §4.2).
+func (v *VM) discardPage(pf *Pfdat) {
+	if pf.Dirty && v.OnDiscardDirty != nil {
+		v.OnDiscardDirty(pf.LP)
+	}
+	delete(v.hash, pf.LP)
+	pf.Valid = false
+	pf.Dirty = false
+	pf.Refs = 0
+	if v.localFrame(pf.Frame) && pf.LoanedTo < 0 {
+		v.M.ScrubPage(pf.Frame, 0)
+		v.free = append(v.free, pf.Frame)
+	}
+}
+
+// RecoveryFinish releases held-up faults after the second barrier.
+func (v *VM) RecoveryFinish() {
+	v.holdFaults = false
+	v.faultCond.Broadcast()
+}
+
+// InRecovery reports whether faults are currently held.
+func (v *VM) InRecovery() bool { return v.holdFaults }
+
+// DropPeerState removes all sharing state involving cell c without RPCs;
+// used when this cell learns c rebooted (reintegration) — stale references
+// must not survive into c's next incarnation.
+func (v *VM) DropPeerState(c int) {
+	for _, f := range v.sortedFrames() {
+		pf := v.frames[f]
+		delete(pf.exports, c)
+		delete(pf.writable, c)
+		if pf.LoanedTo == c {
+			pf.LoanedTo = -1
+			v.M.ScrubPage(pf.Frame, 0)
+			v.free = append(v.free, pf.Frame)
+		}
+	}
+}
+
+// FramesOfCell lists this cell's pfdats whose frames live on node n; used
+// by diagnostics and tests.
+func (v *VM) FramesOfCell() map[machine.PageNum]*Pfdat {
+	out := make(map[machine.PageNum]*Pfdat, len(v.frames))
+	for f, pf := range v.frames {
+		out[f] = pf
+	}
+	return out
+}
+
+// sortedFrames returns the frame numbers this cell tracks, ascending —
+// state-mutating sweeps iterate in this order so runs stay deterministic.
+func (v *VM) sortedFrames() []machine.PageNum {
+	out := make([]machine.PageNum, 0, len(v.frames))
+	for f := range v.frames {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

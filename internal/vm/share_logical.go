@@ -1,0 +1,324 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Logical-level sharing (§5.2): a client cell gains the right to access a
+// data page wherever it is stored, through the export/import/release
+// primitives of Table 5.1. The data home records each client in its pfdat;
+// the client allocates an extended pfdat so the rest of its kernel can
+// treat the remote page as local.
+
+// exportArgs is the wire argument of the page-fault/export RPC.
+type exportArgs struct {
+	LP       LogicalPage
+	Client   int
+	Writable bool
+}
+
+// exportReply returns the page's physical address to the client (§5.2).
+type exportReply struct {
+	Frame machine.PageNum
+}
+
+// Export records that client now accesses the data page held by pf and, if
+// the client requested write access, opens the firewall for all of the
+// client cell's processors (§4.2 firewall management policy). Returns the
+// extra cost when running at interrupt level (engine context), or performs
+// the blocking variant when t is non-nil.
+func (v *VM) Export(t *sim.Task, pf *Pfdat, client int, writable bool) (sim.Time, error) {
+	if pf.exports == nil {
+		pf.exports = make(map[int]int)
+	}
+	pf.exports[client]++
+	cost := MiscVMDataHome + ExportCost
+	if writable && !pf.writable[client] {
+		if pf.writable == nil {
+			pf.writable = make(map[int]bool)
+		}
+		pf.writable[client] = true
+		c, err := v.grantFirewall(t, pf, client)
+		if err != nil {
+			return 0, err
+		}
+		cost += c
+	}
+	v.Metrics.Counter("vm.exports").Inc()
+	return cost, nil
+}
+
+// clientMask returns the firewall mask for every processor of a cell.
+func (v *VM) clientMask(cell int) uint64 {
+	var mask uint64
+	for n, c := range v.CellOfNode {
+		if c == cell {
+			mask |= v.M.NodeProcMask(n)
+		}
+	}
+	return mask
+}
+
+// homeMask returns the firewall mask of the cell owning a frame — the
+// permission set a page returns to when all remote access is revoked.
+func (v *VM) homeMask(frame machine.PageNum) uint64 {
+	return v.clientMask(v.CellOfNode[v.M.HomeNode(frame)])
+}
+
+// grantFirewall opens pf's frame for writing by all processors of client.
+// For a borrowed frame the memory home must make the change (§5.4), which
+// requires an RPC and therefore a task context.
+func (v *VM) grantFirewall(t *sim.Task, pf *Pfdat, client int) (sim.Time, error) {
+	frame := pf.Frame
+	bits := v.M.Firewall(frame) | v.clientMask(client)
+	if v.localFrame(frame) {
+		if t != nil {
+			return 0, v.M.SetFirewall(t, v.proc(frame), frame, bits)
+		}
+		return v.M.SetFirewallIntr(v.proc(frame), frame, bits)
+	}
+	// Borrowed frame: the firewall lives at the memory home.
+	if t == nil {
+		return 0, fmt.Errorf("firewall change on borrowed frame needs queued path")
+	}
+	home := v.CellOfNode[v.M.HomeNode(frame)]
+	_, err := v.EP.Call(t, v.anyProc(), home, ProcFirewall,
+		&firewallArgs{Frame: frame, Bits: bits}, rpc.CallOpts{DataBytes: 32})
+	return 0, err
+}
+
+// revokeFirewall closes pf's frame to the given client cell's processors.
+func (v *VM) revokeFirewall(t *sim.Task, pf *Pfdat, client int) error {
+	frame := pf.Frame
+	bits := v.M.Firewall(frame) &^ v.clientMask(client)
+	bits |= v.homeMask(frame) // the owning cell always retains access
+	if v.localFrame(frame) {
+		if t != nil {
+			return v.M.SetFirewall(t, v.proc(frame), frame, bits)
+		}
+		_, err := v.M.SetFirewallIntr(v.proc(frame), frame, bits)
+		return err
+	}
+	if t == nil {
+		return fmt.Errorf("firewall change on borrowed frame needs queued path")
+	}
+	home := v.CellOfNode[v.M.HomeNode(frame)]
+	_, err := v.EP.Call(t, v.anyProc(), home, ProcFirewall,
+		&firewallArgs{Frame: frame, Bits: bits}, rpc.CallOpts{DataBytes: 32})
+	return err
+}
+
+// Import allocates an extended pfdat bound to a remote page (Table 5.1) and
+// inserts it in the pfdat hash so further faults hit locally.
+func (v *VM) Import(t *sim.Task, frame machine.PageNum, dataHome int, lp LogicalPage, writable bool) *Pfdat {
+	v.anyProc().Use(t, ImportCost)
+	// §5.5: when a loaned frame's page is imported back by its memory
+	// home, the preexisting pfdat is reused — the logical-level and
+	// physical-level state machines use separate storage.
+	pf, ok := v.frames[frame]
+	if !ok {
+		pf = newPfdat(frame)
+		pf.Extended = true
+		v.frames[frame] = pf
+	}
+	pf.LP = lp
+	pf.Valid = true
+	pf.ImportedFrom = dataHome
+	pf.ImpWritable = pf.ImpWritable || writable
+	v.hash[lp] = pf
+	v.Metrics.Counter("vm.imports").Inc()
+	return pf
+}
+
+// Release frees an extended pfdat and tells the data home to drop the
+// export reference (Table 5.1). The page stays in the data home's cache for
+// fast re-access (§5.2).
+func (v *VM) Release(t *sim.Task, pf *Pfdat) {
+	v.anyProc().Use(t, ReleaseCost)
+	delete(v.hash, pf.LP)
+	if pf.Extended {
+		delete(v.frames, pf.Frame)
+	} else {
+		pf.Valid = false
+	}
+	home := pf.ImportedFrom
+	pf.ImportedFrom = -1
+	pf.ImpWritable = false
+	v.Metrics.Counter("vm.releases").Inc()
+	v.EP.Call(t, v.anyProc(), home, ProcRelease,
+		&exportArgs{LP: pf.LP, Client: v.CellID}, rpc.CallOpts{DataBytes: 48, NoHint: true})
+}
+
+// ImportRemote performs the client side of a remote page fault: the export
+// RPC to the data home followed by Import. The file system and COW manager
+// call it from their resolvers. The RPC carries more than one line of data
+// (page descriptors), engaging the Table 5.2 copy/alloc costs.
+func (v *VM) ImportRemote(t *sim.Task, lp LogicalPage, writable bool) (*Pfdat, error) {
+	res, err := v.EP.Call(t, v.anyProc(), lp.Obj.Home, ProcExport,
+		&exportArgs{LP: lp, Client: v.CellID, Writable: writable},
+		rpc.CallOpts{DataBytes: 256})
+	if err != nil {
+		return nil, err
+	}
+	rep, ok := res.(*exportReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: bad export reply", ErrBadPage)
+	}
+	// Sanity-check the reply as the careful-message discipline requires.
+	// The frame must exist; it need not be owned by the data home, since
+	// a data home may legally serve a page cached in a borrowed frame
+	// (§5.5: a frame can be simultaneously borrowed and exported).
+	if rep.Frame < 0 || int(rep.Frame) >= v.M.NumPages() {
+		return nil, fmt.Errorf("%w: export reply frame %d out of range",
+			ErrBadPage, rep.Frame)
+	}
+	return v.Import(t, rep.Frame, lp.Obj.Home, lp, writable), nil
+}
+
+// registerServices installs the VM's RPC services on the cell's endpoint.
+func (v *VM) registerServices() {
+	v.registerPhysicalServices()
+	// Page-fault/export service: best-effort at interrupt level (the
+	// common case — a hit in the data home page cache — is serviced
+	// entirely in the interrupt handler, §4.3/§5.2), falling back to the
+	// queued path when the memory lock is busy, the page needs I/O, or a
+	// firewall change must cross to a memory home.
+	v.EP.Register(ProcExport, "vm.export",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*exportArgs)
+			if !ok || args.LP.Obj.Home != v.CellID || args.Client != req.From {
+				return nil, 0, true, ErrBadPage
+			}
+			if v.holdFaults {
+				return nil, 0, true, ErrRecovering
+			}
+			if v.Lock.Locked() {
+				return nil, 0, false, nil // blocking lock: queued path
+			}
+			pf, hit := v.hash[args.LP]
+			if !hit {
+				return nil, 0, false, nil // needs I/O: queued path
+			}
+			if args.Writable && !pf.writable[args.Client] && !v.localFrame(pf.Frame) {
+				return nil, 0, false, nil // firewall RPC needed: queued path
+			}
+			cost, err := v.Export(nil, pf, args.Client, args.Writable)
+			if err != nil {
+				return nil, 0, true, err
+			}
+			v.Metrics.Counter("vm.export_intr").Inc()
+			return &exportReply{Frame: pf.Frame}, cost, true, nil
+		},
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*exportArgs)
+			if !ok || args.LP.Obj.Home != v.CellID {
+				return nil, ErrBadPage
+			}
+			return v.serveExportQueued(t, args)
+		})
+
+	v.EP.Register(ProcRelease, "vm.release",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*exportArgs)
+			if !ok {
+				return nil, 0, true, ErrBadPage
+			}
+			if v.Lock.Locked() {
+				return nil, 0, false, nil
+			}
+			if pf, ok := v.hash[args.LP]; ok && pf.writable[args.Client] && !v.localFrame(pf.Frame) {
+				return nil, 0, false, nil // borrowed-frame revocation needs an RPC
+			}
+			v.dropExport(nil, args.LP, args.Client)
+			return nil, MiscVMDataHome, true, nil
+		},
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*exportArgs)
+			if !ok {
+				return nil, ErrBadPage
+			}
+			v.Lock.Lock(t)
+			v.dropExport(t, args.LP, args.Client)
+			v.Lock.Unlock(t)
+			return nil, nil
+		})
+
+	v.EP.Register(ProcFirewall, "vm.firewall", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*firewallArgs)
+			if !ok {
+				return nil, ErrBadPage
+			}
+			if !v.localFrame(args.Frame) {
+				return nil, fmt.Errorf("%w: frame %d not local", ErrBadPage, args.Frame)
+			}
+			pf := v.frames[args.Frame]
+			if pf == nil || pf.LoanedTo != req.From {
+				// Only the borrower may direct the firewall of a
+				// loaned frame — a corrupt cell must not open
+				// other cells' pages.
+				return nil, fmt.Errorf("%w: frame %d not loaned to cell %d",
+					ErrBadPage, args.Frame, req.From)
+			}
+			return nil, v.M.SetFirewall(t, v.proc(args.Frame), args.Frame, args.Bits)
+		})
+}
+
+// serveExportQueued is the blocking export path: it may perform file I/O
+// through the resolver and firewall RPCs to memory homes.
+func (v *VM) serveExportQueued(t *sim.Task, args *exportArgs) (any, error) {
+	if v.holdFaults {
+		return nil, ErrRecovering
+	}
+	v.Lock.Lock(t)
+	pf, hit := v.hash[args.LP]
+	v.Lock.Unlock(t)
+	if !hit {
+		res := v.resolvers[args.LP.Obj.Kind]
+		if res == nil {
+			return nil, fmt.Errorf("%w: no resolver", ErrBadPage)
+		}
+		var err error
+		pf, err = res.ResolvePage(t, args.LP, args.Writable)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v.Lock.Lock(t)
+	_, err := v.Export(t, pf, args.Client, args.Writable)
+	v.Lock.Unlock(t)
+	if err != nil {
+		return nil, err
+	}
+	return &exportReply{Frame: pf.Frame}, nil
+}
+
+// dropExport decrements a client's export reference and revokes its write
+// access when the last reference goes away. t may be nil only when the
+// revocation (if any) is local.
+func (v *VM) dropExport(t *sim.Task, lp LogicalPage, client int) {
+	pf, ok := v.hash[lp]
+	if !ok {
+		return
+	}
+	if pf.exports[client] > 0 {
+		pf.exports[client]--
+	}
+	if pf.exports[client] == 0 {
+		delete(pf.exports, client)
+		if pf.writable[client] {
+			delete(pf.writable, client)
+			v.revokeFirewall(t, pf, client)
+		}
+	}
+}
+
+// firewallArgs asks a memory home to change a loaned frame's firewall.
+type firewallArgs struct {
+	Frame machine.PageNum
+	Bits  uint64
+}

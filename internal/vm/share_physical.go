@@ -1,0 +1,332 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+// Physical-level sharing (§5.4): a memory home loans free page frames to
+// another cell, which becomes their data home and manages them as its own.
+// Frame loaning balances memory pressure across the machine and lets data
+// pages be placed near the processes using them on a CC-NUMA machine.
+
+// borrowArgs asks a memory home for frames.
+type borrowArgs struct {
+	Client int
+	Count  int
+}
+
+// borrowReply carries the loaned frame numbers.
+type borrowReply struct {
+	Frames []machine.PageNum
+}
+
+// returnArgs gives frames back.
+type returnArgs struct {
+	Client int
+	Frames []machine.PageNum
+}
+
+// AllocOpts constrains frame allocation (§5.4: the page allocator takes a
+// set of acceptable cells and one preferred cell).
+type AllocOpts struct {
+	// Kernel frames must be local: the firewall does not defend against
+	// wild writes by the memory home (§5.4).
+	Kernel bool
+	// Preferred is the cell to allocate from if possible; meaningful
+	// only when HasPreferred is set.
+	Preferred    int
+	HasPreferred bool
+	// Acceptable restricts which cells may provide the frame (nil = any).
+	Acceptable []int
+}
+
+// Prefer returns AllocOpts preferring the given cell (§5.5 CC-NUMA
+// placement: put the page near the process using it).
+func Prefer(cell int) AllocOpts {
+	return AllocOpts{Preferred: cell, HasPreferred: true}
+}
+
+// AllocFrame allocates one page frame, borrowing from a remote memory home
+// when the local pool is empty (demand-driven frame loaning, §5.4, with
+// targets ordered by Wax's allocation hints).
+func (v *VM) AllocFrame(t *sim.Task, opts AllocOpts) (machine.PageNum, error) {
+	acceptable := func(cell int) bool {
+		if opts.Acceptable == nil {
+			return true
+		}
+		for _, c := range opts.Acceptable {
+			if c == cell {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Preferred remote cell first, if asked and allowed.
+	if !opts.Kernel && opts.HasPreferred && opts.Preferred != v.CellID && acceptable(opts.Preferred) {
+		if f, err := v.borrowFrom(t, opts.Preferred); err == nil {
+			return f, nil
+		}
+	}
+
+	if acceptable(v.CellID) {
+		if f, ok := v.popLocalFree(opts.Kernel); ok {
+			return f, nil
+		}
+	}
+	if opts.Kernel {
+		return machine.NoPage, fmt.Errorf("%w: kernel frames must be local", ErrNoMemory)
+	}
+
+	// Local pool dry: borrow along Wax's target list, then any peer.
+	tried := map[int]bool{v.CellID: true}
+	for _, c := range v.AllocTargets {
+		if !tried[c] && acceptable(c) {
+			tried[c] = true
+			if f, err := v.borrowFrom(t, c); err == nil {
+				return f, nil
+			}
+		}
+	}
+	peers := make([]int, 0, len(v.EP.Peers))
+	for c := range v.EP.Peers {
+		peers = append(peers, c)
+	}
+	sort.Ints(peers)
+	for _, c := range peers {
+		if !tried[c] && acceptable(c) {
+			tried[c] = true
+			if f, err := v.borrowFrom(t, c); err == nil {
+				return f, nil
+			}
+		}
+	}
+	return machine.NoPage, ErrNoMemory
+}
+
+// popLocalFree takes a frame from the free pool. Kernel requests skip
+// borrowed frames (§5.4).
+func (v *VM) popLocalFree(kernelOnly bool) (machine.PageNum, bool) {
+	for i := len(v.free) - 1; i >= 0; i-- {
+		f := v.free[i]
+		if kernelOnly && !v.localFrame(f) {
+			continue
+		}
+		v.free = append(v.free[:i], v.free[i+1:]...)
+		return f, true
+	}
+	return machine.NoPage, false
+}
+
+// FreeFrame returns a frame to the pool. Borrowed frames go back to their
+// memory home as soon as their data is no longer in use — the paper's
+// current (admittedly eager) policy (§5.4).
+func (v *VM) FreeFrame(t *sim.Task, f machine.PageNum) {
+	pf := v.frames[f]
+	if pf != nil && pf.BorrowedFrom >= 0 {
+		v.ReturnFrames(t, []machine.PageNum{f})
+		return
+	}
+	v.free = append(v.free, f)
+}
+
+// borrowFrom requests a batch of frames from the given memory home and
+// returns one of them, pooling the rest (Table 5.1: borrow_frame).
+func (v *VM) borrowFrom(t *sim.Task, home int) (machine.PageNum, error) {
+	v.anyProc().Use(t, BorrowCost)
+	res, err := v.EP.Call(t, v.anyProc(), home, ProcBorrow,
+		&borrowArgs{Client: v.CellID, Count: v.BorrowBatch},
+		rpc.CallOpts{DataBytes: 192})
+	if err != nil {
+		return machine.NoPage, err
+	}
+	rep, ok := res.(*borrowReply)
+	if !ok || len(rep.Frames) == 0 {
+		return machine.NoPage, ErrNoMemory
+	}
+	// Sanity-check every frame: it must be owned by the claimed home.
+	for _, f := range rep.Frames {
+		if f < 0 || int(f) >= v.M.NumPages() || v.CellOfNode[v.M.HomeNode(f)] != home {
+			return machine.NoPage, fmt.Errorf("%w: borrowed frame %d not owned by cell %d",
+				ErrBadPage, f, home)
+		}
+	}
+	for _, f := range rep.Frames {
+		pf := newPfdat(f)
+		pf.Extended = true
+		pf.BorrowedFrom = home
+		v.frames[f] = pf
+		v.free = append(v.free, f)
+	}
+	v.Metrics.Counter("vm.borrows").Add(int64(len(rep.Frames)))
+	f, _ := v.popLocalFree(false)
+	return f, nil
+}
+
+// ReturnFrames sends borrowed frames back to their memory homes
+// (Table 5.1: return_frame).
+func (v *VM) ReturnFrames(t *sim.Task, frames []machine.PageNum) {
+	byHome := map[int][]machine.PageNum{}
+	for _, f := range frames {
+		pf := v.frames[f]
+		if pf == nil || pf.BorrowedFrom < 0 {
+			continue
+		}
+		byHome[pf.BorrowedFrom] = append(byHome[pf.BorrowedFrom], f)
+		delete(v.frames, f)
+	}
+	homes := make([]int, 0, len(byHome))
+	for home := range byHome {
+		homes = append(homes, home)
+	}
+	sort.Ints(homes)
+	for _, home := range homes {
+		fs := byHome[home]
+		v.Metrics.Counter("vm.returns").Add(int64(len(fs)))
+		v.EP.Call(t, v.anyProc(), home, ProcReturn,
+			&returnArgs{Client: v.CellID, Frames: fs},
+			rpc.CallOpts{DataBytes: 192, NoHint: true})
+	}
+}
+
+// ReturnUnusedBorrows sends idle borrowed frames back to a pressured
+// memory home — the clock-hand policy Wax drives ("preferentially free
+// pages whose memory home is under memory pressure", §5.7). It returns the
+// number of frames sent home.
+func (v *VM) ReturnUnusedBorrows(t *sim.Task, home int) int {
+	var give []machine.PageNum
+	for i := len(v.free) - 1; i >= 0; i-- {
+		f := v.free[i]
+		if pf := v.frames[f]; pf != nil && pf.BorrowedFrom == home {
+			v.free = append(v.free[:i], v.free[i+1:]...)
+			give = append(give, f)
+		}
+	}
+	if len(give) > 0 {
+		v.ReturnFrames(t, give)
+	}
+	return len(give)
+}
+
+// BorrowedFrames counts frames currently borrowed from other cells.
+func (v *VM) BorrowedFrames() int {
+	n := 0
+	for _, pf := range v.frames {
+		if pf.BorrowedFrom >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LoanedFrames counts local frames currently loaned out.
+func (v *VM) LoanedFrames() int {
+	n := 0
+	for _, pf := range v.frames {
+		if pf.LoanedTo >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// registerPhysicalServices is called from registerServices.
+func (v *VM) registerPhysicalServices() {
+	// Loan service: the memory home moves frames to the reserved list
+	// and ignores them until returned or the borrower fails (§5.4).
+	v.EP.Register(ProcBorrow, "vm.borrow",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*borrowArgs)
+			if !ok || args.Client != req.From || args.Count <= 0 || args.Count > 1024 {
+				return nil, 0, true, ErrBadPage
+			}
+			if v.Lock.Locked() {
+				return nil, 0, false, nil
+			}
+			rep := v.loanFrames(args.Client, args.Count)
+			if len(rep.Frames) == 0 {
+				return nil, 0, true, ErrNoMemory
+			}
+			return rep, BorrowCost, true, nil
+		},
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*borrowArgs)
+			if !ok || args.Count <= 0 || args.Count > 1024 {
+				return nil, ErrBadPage
+			}
+			v.Lock.Lock(t)
+			rep := v.loanFrames(args.Client, args.Count)
+			v.Lock.Unlock(t)
+			if len(rep.Frames) == 0 {
+				return nil, ErrNoMemory
+			}
+			return rep, nil
+		})
+
+	v.EP.Register(ProcReturn, "vm.return",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			args, ok := req.Args.(*returnArgs)
+			if !ok || args.Client != req.From {
+				return nil, 0, true, ErrBadPage
+			}
+			if v.Lock.Locked() {
+				return nil, 0, false, nil
+			}
+			v.acceptReturns(args.Client, args.Frames)
+			return nil, MiscVMDataHome, true, nil
+		},
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, ok := req.Args.(*returnArgs)
+			if !ok {
+				return nil, ErrBadPage
+			}
+			v.Lock.Lock(t)
+			v.acceptReturns(args.Client, args.Frames)
+			v.Lock.Unlock(t)
+			return nil, nil
+		})
+}
+
+// loanFrames moves up to count local free frames to the loaned state.
+// Preserve a reserve so the cell cannot deadlock itself (§3.2: each cell
+// preserves enough local free memory to avoid deadlock).
+func (v *VM) loanFrames(client, count int) *borrowReply {
+	const reserve = 32
+	rep := &borrowReply{}
+	for len(rep.Frames) < count && len(v.free) > reserve {
+		f, ok := v.popLocalFree(true) // only loan frames we own
+		if !ok {
+			break
+		}
+		pf := v.frames[f]
+		pf.LoanedTo = client
+		// Loaning transfers control of the frame: open the firewall for
+		// the borrowing cell (further changes come back by RPC, §5.4).
+		bits := v.homeMask(f) | v.clientMask(client)
+		v.M.SetFirewallIntr(v.proc(f), f, bits)
+		rep.Frames = append(rep.Frames, f)
+	}
+	v.Metrics.Counter("vm.loans").Add(int64(len(rep.Frames)))
+	return rep
+}
+
+// acceptReturns takes loaned frames back from a borrower.
+func (v *VM) acceptReturns(client int, frames []machine.PageNum) {
+	for _, f := range frames {
+		if !v.localFrame(f) {
+			continue // sanity: only our own frames
+		}
+		pf := v.frames[f]
+		if pf == nil || pf.LoanedTo != client {
+			continue // sanity: must have been loaned to this client
+		}
+		pf.LoanedTo = -1
+		v.M.SetFirewallIntr(v.proc(f), f, v.homeMask(f))
+		v.free = append(v.free, f)
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/membership"
+)
+
+// BootHive boots the paper's 4-processor machine partitioned into the
+// given number of cells (1, 2, or 4), with /tmp homed on the last cell.
+func BootHive(cells int) *core.Hive {
+	cfg := core.DefaultConfig()
+	cfg.Cells = cells
+	cfg.Mounts = standardMounts(cells)
+	return core.Boot(cfg)
+}
+
+// standardMounts places /tmp on the last cell (the paper's intermediate-
+// file server) and the shared source tree and data sets on cell 0.
+func standardMounts(cells int) []fs.Mount {
+	return []fs.Mount{
+		{Prefix: "/tmp", Cell: cells - 1},
+		{Prefix: "/usr", Cell: 0},
+		{Prefix: "/data", Cell: 0},
+	}
+}
+
+// BootHiveSeeded is BootHive with an explicit seed (fault campaigns vary
+// the seed across trials).
+func BootHiveSeeded(cells int, seed int64) *core.Hive {
+	cfg := core.DefaultConfig()
+	cfg.Cells = cells
+	cfg.Mounts = standardMounts(cells)
+	cfg.Seed = seed
+	return core.Boot(cfg)
+}
+
+// BootIRIX boots the IRIX 5.2 baseline: the same machine and kernel code
+// paths as a single cell spanning all nodes, with Hive's protection
+// hardware turned off — no firewall checks, no clock monitoring of peers
+// (a single cell has no neighbours), no careful-reference traffic.
+func BootIRIX() *core.Hive {
+	cfg := core.DefaultConfig()
+	cfg.Cells = 1
+	cfg.Machine.FirewallEnabled = false
+	cfg.Mounts = standardMounts(1)
+	cfg.Agreement = membership.Oracle
+	return core.Boot(cfg)
+}

@@ -1,0 +1,129 @@
+// Package workload implements the paper's evaluation workloads (Table 7.1)
+// as synthetic generators that reproduce each program's kernel-visible
+// behaviour:
+//
+//   - pmake: parallel compilation of 11 files of GnuChess 3.1, four at a
+//     time — many short processes, heavy namespace traffic on a shared
+//     source tree, intermediate files on a /tmp file-server cell, and the
+//     §5.2 page-cache fault profile (≈8900 cache-hit faults, ≈55 % remote
+//     on four cells).
+//   - ocean: a SPLASH-2 scientific simulation on a 130×130 grid — one
+//     parallel application whose threads write-share the data segment
+//     (the §4.2 firewall study's ≈550 remotely-writable pages per cell).
+//   - raytrace: SPLASH-2 rendering of a teapot — fork-based parallelism
+//     with a read-shared scene reached through the distributed
+//     copy-on-write tree.
+//
+// Each generator runs on any Hive configuration (1-4 cells) and on the
+// IRIX baseline, and records the output files it wrote so the fault
+// injection campaign can verify data integrity afterwards.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/proc"
+	"repro/internal/sim"
+)
+
+// Result is one workload execution's outcome.
+type Result struct {
+	Name    string
+	Cells   int
+	Started sim.Time
+	Elapsed sim.Time
+	Done    bool
+
+	// Outputs lists files written, for post-run integrity checking.
+	Outputs []OutputFile
+
+	// Fault-path statistics aggregated across cells (§5.2 reports
+	// these for pmake).
+	FaultHits    int64
+	FaultMisses  int64
+	RemoteFaults int64
+
+	Errors []string
+}
+
+// OutputFile records an output file's identity and expected contents.
+type OutputFile struct {
+	Path  string
+	Pages int
+	Seed  uint64
+	Home  int
+}
+
+// AddError records a workload-visible error (processes killed by fault
+// injection produce none — they just vanish; errors here are unexpected).
+func (r *Result) AddError(format string, args ...any) {
+	r.Errors = append(r.Errors, fmt.Sprintf(format, args...))
+}
+
+// snapshotFaults sums the cells' fault counters.
+func snapshotFaults(h *core.Hive) (hits, misses, imports int64) {
+	for _, c := range h.Cells {
+		hits += c.VM.Metrics.Counter("vm.fault_hits").Value()
+		misses += c.VM.Metrics.Counter("vm.fault_misses").Value()
+		imports += c.VM.Metrics.Counter("vm.imports").Value()
+	}
+	return
+}
+
+// finishStats fills the Result's fault statistics from counter deltas.
+func (r *Result) finishStats(h *core.Hive, h0, m0, i0 int64) {
+	h1, m1, i1 := snapshotFaults(h)
+	r.FaultHits = (h1 - h0) + (m1 - m0) // faults that found the page cached somewhere
+	r.FaultMisses = m1 - m0
+	r.RemoteFaults = i1 - i0
+}
+
+// VerifyOutputs re-reads every output file from a surviving cell and
+// checks its content tags — the paper's §7.4 output-comparison correctness
+// check. A *data integrity violation* is silently wrong or corrupt data;
+// files that are missing (their writer was killed) or that return EIO
+// (stale generation after preemptive discard) are availability losses the
+// fault-containment model explicitly permits, and are not counted.
+func VerifyOutputs(h *core.Hive, res *Result) (bad int, report []string) {
+	live := h.LiveCells()
+	if len(live) == 0 {
+		return len(res.Outputs), []string{"no live cells"}
+	}
+	reader := live[0]
+	done := false
+	reader.Procs.Spawn("verify", 900, func(p *proc.Process, t *sim.Task) {
+		defer func() { done = true }()
+		for _, out := range res.Outputs {
+			if h.Cells[out.Home].Failed() {
+				continue // lost with its cell: not an integrity violation
+			}
+			hdl, err := reader.FS.Open(t, out.Path)
+			if err != nil {
+				continue // missing: writer killed (availability loss)
+			}
+			pages, err := reader.FS.Read(t, hdl, out.Pages)
+			if err != nil {
+				continue // EIO (stale generation): the correct signal
+			}
+			for i, pg := range pages {
+				if pg.Tag == 0 {
+					break // short file: writer killed mid-write
+				}
+				want := fs.PageTag(hdl.Key, int64(i), out.Seed)
+				if pg.Corrupt || pg.Tag != want {
+					bad++
+					report = append(report, fmt.Sprintf("%s page %d: tag=%x want=%x corrupt=%v",
+						out.Path, i, pg.Tag, want, pg.Corrupt))
+					break
+				}
+			}
+			reader.FS.Close(t, hdl)
+		}
+	})
+	if !h.RunUntil(func() bool { return done }, h.Eng.Now()+60*sim.Second) {
+		return bad + 1, append(report, "verification timed out")
+	}
+	return bad, report
+}
