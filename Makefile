@@ -1,0 +1,41 @@
+# Build/test entry points. Everything is pure Go, standard library only.
+
+GO ?= go
+
+.PHONY: all build test check race bench bench-engine bench-report clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the tier-1 gate: build, vet, full test suite, and the race
+# detector over the packages that actually use OS-level concurrency (the
+# parallel trial runner) plus the engine it drives.
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/parallel/... ./internal/sim/...
+
+# race runs the concurrency-sensitive packages under the race detector,
+# including the cross-package determinism gates in internal/faultinject.
+race:
+	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/faultinject/...
+
+# bench regenerates every paper table as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# bench-engine tracks the simulator's own hot paths (events/sec, allocs).
+bench-engine:
+	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkEvent|BenchmarkPending|BenchmarkTask' -benchmem ./internal/sim/
+
+# bench-report writes the machine-readable experiment report.
+bench-report:
+	$(GO) run ./cmd/hivebench -quick -json -o BENCH_hive.json
+
+clean:
+	rm -f BENCH_hive.json

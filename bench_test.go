@@ -12,9 +12,12 @@ package hive
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -149,6 +152,36 @@ func BenchmarkRecoveryLatency(b *testing.B) {
 		}
 		b.ReportMetric(tr.RecoveryMs, "recovery-ms")
 		b.ReportMetric(tr.DetectMs, "detect-ms")
+	}
+}
+
+// BenchmarkCampaignParallel times a fixed slice of the Table 7.4 campaign
+// (eight NodeFailRandom trials) on the parallel trial runner, once with a
+// single worker and once with a worker per processor. The aggregated rows
+// are identical in both configurations (see internal/faultinject's
+// determinism tests); only wall-clock changes. On a multi-core host the
+// j-max/iter time should approach j1/GOMAXPROCS.
+func BenchmarkCampaignParallel(b *testing.B) {
+	const trials = 8
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"j1", 1},
+		{fmt.Sprintf("j%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0)},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			r := parallel.New(cfg.workers)
+			for i := 0; i < b.N; i++ {
+				row := faultinject.RunScenarioWith(r, faultinject.NodeFailRandom, trials)
+				if !row.AllOK {
+					b.Fatalf("containment failure: %v", row.Failures)
+				}
+				b.ReportMetric(row.AvgDetect, "avg-detect-ms")
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/sec")
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	faultdrill            # the full 69-trial campaign
 //	faultdrill -trials 3  # 3 trials per scenario
+//	faultdrill -j 8       # fan trials across 8 workers (same results at any -j)
 //	faultdrill -scenario 4 -trial 2 -v   # one specific trial, verbose
 package main
 
@@ -13,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/faultinject"
 	"repro/internal/harness"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -24,8 +27,11 @@ func main() {
 		scenario = flag.Int("scenario", -1, "run only this scenario (0-4)")
 		trial    = flag.Int("trial", 0, "trial index for -scenario")
 		verbose  = flag.Bool("v", false, "per-trial detail")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel trial workers (1 = sequential)")
 	)
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*jobs)
 
 	if *scenario >= 0 {
 		s := faultinject.Scenario(*scenario)

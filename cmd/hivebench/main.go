@@ -5,92 +5,202 @@
 //
 //	hivebench                 # everything, full Table 7.4 campaign
 //	hivebench -quick          # reduced fault-injection trial counts
+//	hivebench -j 8            # fan independent trials across 8 workers
+//	hivebench -json           # machine-readable benchmark report on stdout
+//	hivebench -json -o BENCH_hive.json
 //	hivebench -only t72       # one experiment: careful41, rpc6, t52,
 //	                          # t72, t73, t74, fw42, traffic52, t81,
 //	                          # scalability, agreement, cowlookup,
 //	                          # sipsipi, fwgran, ccnow
+//
+// Experiments are deterministic simulations: the tables are byte-identical
+// at every -j. The JSON report additionally records wall-clock time per
+// experiment so the simulator's real-time performance is tracked PR to PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
+
+// experimentReport is one experiment's entry in the -json output.
+type experimentReport struct {
+	ID      string             `json:"id"`
+	WallMs  float64            `json:"wall_ms"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchReport is the full -json document.
+type benchReport struct {
+	Name        string             `json:"name"`
+	GoVersion   string             `json:"go_version"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Jobs        int                `json:"jobs"`
+	Quick       bool               `json:"quick"`
+	Experiments []experimentReport `json:"experiments"`
+	TotalWallMs float64            `json:"total_wall_ms"`
+}
+
+// runCtx threads output mode and the report accumulator through experiments.
+type runCtx struct {
+	jsonMode bool
+	report   *benchReport
+	metrics  map[string]float64
+}
+
+// printf emits human-readable output (suppressed in -json mode).
+func (c *runCtx) printf(format string, args ...any) {
+	if !c.jsonMode {
+		fmt.Printf(format, args...)
+	}
+}
+
+// println emits a human-readable line (suppressed in -json mode).
+func (c *runCtx) println(args ...any) {
+	if !c.jsonMode {
+		fmt.Println(args...)
+	}
+}
+
+// metric records one measured value for the JSON report.
+func (c *runCtx) metric(name string, v float64) { c.metrics[name] = v }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced fault-injection trial counts")
 	only := flag.String("only", "", "run a single experiment by id")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "parallel trial workers (1 = sequential)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark report instead of tables")
+	outPath := flag.String("o", "", "write the -json report to a file instead of stdout")
 	flag.Parse()
 
-	want := func(id string) bool { return *only == "" || *only == id }
+	parallel.SetDefaultWorkers(*jobs)
 
-	if want("careful41") {
-		c := harness.RunCareful41()
-		tb := stats.NewTable("§4.1 — careful reference protocol vs RPC",
-			"operation", "paper", "measured")
-		tb.AddRow("careful_on → clock read → careful_off", "1.16 µs", harness.FormatUs(c.CarefulReadUs))
-		tb.AddRow("  of which remote cache miss", "0.70 µs", harness.FormatUs(c.MissShareUs))
-		tb.AddRow("null RPC alternative", "7.2 µs", harness.FormatUs(c.NullRPCUs))
-		fmt.Println(tb)
+	ctx := &runCtx{
+		jsonMode: *jsonOut,
+		report: &benchReport{
+			Name:        "hivebench",
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Jobs:        parallel.Default().Workers(),
+			Quick:       *quick,
+			Experiments: []experimentReport{},
+		},
+	}
+	start := time.Now()
+	run := func(id string, fn func(c *runCtx)) {
+		if *only != "" && *only != id {
+			return
+		}
+		ctx.metrics = map[string]float64{}
+		expStart := time.Now()
+		fn(ctx)
+		ctx.report.Experiments = append(ctx.report.Experiments, experimentReport{
+			ID:      id,
+			WallMs:  float64(time.Since(expStart).Microseconds()) / 1000,
+			Metrics: ctx.metrics,
+		})
 	}
 
-	if want("rpc6") {
+	run("careful41", func(c *runCtx) {
+		r := harness.RunCareful41()
+		c.metric("careful_read_us", r.CarefulReadUs)
+		c.metric("miss_share_us", r.MissShareUs)
+		c.metric("null_rpc_us", r.NullRPCUs)
+		tb := stats.NewTable("§4.1 — careful reference protocol vs RPC",
+			"operation", "paper", "measured")
+		tb.AddRow("careful_on → clock read → careful_off", "1.16 µs", harness.FormatUs(r.CarefulReadUs))
+		tb.AddRow("  of which remote cache miss", "0.70 µs", harness.FormatUs(r.MissShareUs))
+		tb.AddRow("null RPC alternative", "7.2 µs", harness.FormatUs(r.NullRPCUs))
+		c.println(tb)
+	})
+
+	run("rpc6", func(c *runCtx) {
 		r := harness.RunRPC6()
+		c.metric("null_us", r.NullUs)
+		c.metric("real_us", r.RealUs)
+		c.metric("oversize_us", r.OversizeUs)
+		c.metric("queued_us", r.QueuedUs)
 		tb := stats.NewTable("§6 — RPC subsystem latencies",
 			"operation", "paper", "measured")
 		tb.AddRow("null interrupt-level RPC", "7.2 µs", harness.FormatUs(r.NullUs))
 		tb.AddRow("common interrupt-level request (RPC component)", "9.6 µs", harness.FormatUs(r.RealUs))
 		tb.AddRow("request with >1 line of data (Table 5.2)", "17.3 µs", harness.FormatUs(r.OversizeUs))
 		tb.AddRow("null queued RPC", "34 µs", harness.FormatUs(r.QueuedUs))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("t52") {
+	run("t52", func(c *runCtx) {
 		t52 := harness.RunTable52()
+		c.metric("local_us", t52.LocalUs)
+		c.metric("remote_us", t52.RemoteUs)
+		c.metric("breakdown_total_us", t52.Components.MeanTotal())
 		tb := stats.NewTable("Table 5.2 — remote page fault latency",
 			"quantity", "paper", "measured")
 		tb.AddRow("local page fault (cache hit)", "6.9 µs", harness.FormatUs(t52.LocalUs))
 		tb.AddRow("remote page fault (data-home cache hit)", "50.7 µs", harness.FormatUs(t52.RemoteUs))
-		fmt.Println(tb)
-		fmt.Println("component means (calibrated decomposition):")
-		fmt.Print(t52.Components.Format())
-		fmt.Println()
-	}
+		c.println(tb)
+		c.println("component means (calibrated decomposition):")
+		c.printf("%s", t52.Components.Format())
+		c.println()
+	})
 
-	if want("t73") {
+	run("t73", func(c *runCtx) {
 		t73 := harness.RunTable73()
+		c.metric("read4mb_local_ms", t73.Read4MBLocalMs)
+		c.metric("read4mb_remote_ms", t73.Read4MBRemoteMs)
+		c.metric("write4mb_local_ms", t73.Write4MBLocalMs)
+		c.metric("write4mb_remote_ms", t73.Write4MBRemoteMs)
+		c.metric("open_local_us", t73.OpenLocalUs)
+		c.metric("open_remote_us", t73.OpenRemoteUs)
+		c.metric("fault_local_us", t73.FaultLocalUs)
+		c.metric("fault_remote_us", t73.FaultRemoteUs)
 		tb := stats.NewTable("Table 7.3 — local vs remote kernel operations",
 			"operation", "paper local", "measured local", "paper remote", "measured remote")
 		tb.AddRow("4 MB file read", "65.0 ms", harness.FormatMs(t73.Read4MBLocalMs), "76.2 ms", harness.FormatMs(t73.Read4MBRemoteMs))
 		tb.AddRow("4 MB file write/extend", "83.7 ms", harness.FormatMs(t73.Write4MBLocalMs), "87.3 ms", harness.FormatMs(t73.Write4MBRemoteMs))
 		tb.AddRow("open file", "148 µs", harness.FormatUs(t73.OpenLocalUs), "580 µs", harness.FormatUs(t73.OpenRemoteUs))
 		tb.AddRow("page fault hitting file cache", "6.9 µs", harness.FormatUs(t73.FaultLocalUs), "50.7 µs", harness.FormatUs(t73.FaultRemoteUs))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("t72") {
+	run("t72", func(c *runCtx) {
 		rows := harness.RunTable72()
 		tb := stats.NewTable("Table 7.2 — workload timings on the 4-processor machine",
 			"workload", "IRIX (paper)", "IRIX (measured)", "1 cell", "2 cells", "4 cells")
 		paperBase := map[string]string{"ocean": "6.07 s", "raytrace": "4.35 s", "pmake": "5.77 s"}
 		paperSlow := map[string]string{"ocean": "1/1/-1 %", "raytrace": "0/0/1 %", "pmake": "1/10/11 %"}
 		for _, r := range rows {
+			c.metric(r.Workload+"_irix_s", r.IRIXSec)
+			c.metric(r.Workload+"_slowdown1_pct", r.Slowdown1)
+			c.metric(r.Workload+"_slowdown2_pct", r.Slowdown2)
+			c.metric(r.Workload+"_slowdown4_pct", r.Slowdown4)
 			tb.AddRow(r.Workload, paperBase[r.Workload], fmt.Sprintf("%.2f s", r.IRIXSec),
 				harness.FormatPct(r.Slowdown1), harness.FormatPct(r.Slowdown2), harness.FormatPct(r.Slowdown4))
 		}
-		fmt.Println(tb)
-		fmt.Println("paper slowdowns (1/2/4 cells):")
-		for w, s := range paperSlow {
-			fmt.Printf("  %-9s %s\n", w, s)
+		c.println(tb)
+		c.println("paper slowdowns (1/2/4 cells):")
+		for _, r := range rows {
+			c.printf("  %-9s %s\n", r.Workload, paperSlow[r.Workload])
 		}
-		fmt.Println()
-	}
+		c.println()
+	})
 
-	if want("fw42") {
+	run("fw42", func(c *runCtx) {
 		fw := harness.RunFirewall42()
+		c.metric("write_miss_overhead_pct", fw.WriteMissOverheadPct)
+		c.metric("pmake_avg_writable", fw.PmakeAvgWritable)
+		c.metric("pmake_max_writable", fw.PmakeMaxWritable)
+		c.metric("pmake_user_pages", fw.PmakeUserPages)
+		c.metric("ocean_avg_writable", fw.OceanAvgWritable)
 		tb := stats.NewTable("§4.2 — firewall cost and management policy",
 			"quantity", "paper", "measured")
 		tb.AddRow("remote write miss latency increase", "+6.3 % (pmake)", harness.FormatPct(fw.WriteMissOverheadPct))
@@ -98,11 +208,16 @@ func main() {
 		tb.AddRow("pmake: max remotely-writable pages", "42 (/tmp server)", fmt.Sprintf("%.0f", fw.PmakeMaxWritable))
 		tb.AddRow("pmake: user pages per cell", "≈6000", fmt.Sprintf("%.0f", fw.PmakeUserPages))
 		tb.AddRow("ocean: avg remotely-writable pages/cell", "550", fmt.Sprintf("%.0f", fw.OceanAvgWritable))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("traffic52") {
+	run("traffic52", func(c *runCtx) {
 		tr := harness.RunPmakeFaultTraffic()
+		c.metric("faults_1cell", float64(tr.Faults1Cell))
+		c.metric("faults_4cell", float64(tr.Faults4Cell))
+		c.metric("remote_4cell", float64(tr.Remote4Cell))
+		c.metric("fault_ms_1cell", tr.FaultMs1Cell)
+		c.metric("fault_ms_4cell", tr.FaultMs4Cell)
 		tb := stats.NewTable("§5.2 — pmake page-cache fault traffic",
 			"quantity", "paper", "measured")
 		tb.AddRow("page-cache faults (1 cell)", "8935", fmt.Sprint(tr.Faults1Cell))
@@ -110,22 +225,45 @@ func main() {
 		tb.AddRow("remote on 4 cells", "4946", fmt.Sprint(tr.Remote4Cell))
 		tb.AddRow("cumulative fault time (1 cell)", "117 ms", harness.FormatMs(tr.FaultMs1Cell))
 		tb.AddRow("cumulative fault time (4 cells)", "455 ms", harness.FormatMs(tr.FaultMs4Cell))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("t74") {
+	run("t74", func(c *runCtx) {
 		scale := 1.0
 		if *quick {
 			scale = 0.2
 		}
 		rows := harness.RunTable74(scale)
-		fmt.Println(harness.FormatTable74(rows))
-		fmt.Println("paper: avg/max detect (ms) = 16/21, 10/11, 21/45, 38/65, 401/760; recovery 40-80 ms; all contained")
-		fmt.Println()
-	}
+		allOK := 1.0
+		for _, r := range rows {
+			key := fmt.Sprintf("s%d", int(r.Scenario))
+			c.metric(key+"_tests", float64(r.Tests))
+			c.metric(key+"_avg_detect_ms", r.AvgDetect)
+			c.metric(key+"_max_detect_ms", r.MaxDetect)
+			c.metric(key+"_avg_recovery_ms", r.AvgRecov)
+			if !r.AllOK {
+				allOK = 0
+			}
+		}
+		c.metric("all_contained", allOK)
+		c.println(harness.FormatTable74(rows))
+		c.println("paper: avg/max detect (ms) = 16/21, 10/11, 21/45, 38/65, 401/760; recovery 40-80 ms; all contained")
+		c.println()
+	})
 
-	if want("t81") {
+	run("t81", func(c *runCtx) {
 		hw := harness.RunHardware81()
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		c.metric("firewall", b2f(hw.Firewall))
+		c.metric("fault_model", b2f(hw.FaultModel))
+		c.metric("remap_region", b2f(hw.RemapRegion))
+		c.metric("sips", b2f(hw.SIPS))
+		c.metric("cutoff", b2f(hw.Cutoff))
 		tb := stats.NewTable("Table 8.1 — custom hardware features",
 			"feature", "functional")
 		tb.AddRow("firewall (per-page write permission bit-vector)", fmt.Sprint(hw.Firewall))
@@ -133,68 +271,115 @@ func main() {
 		tb.AddRow("remap region (node-private trap vectors)", fmt.Sprint(hw.RemapRegion))
 		tb.AddRow("SIPS (short interprocessor send)", fmt.Sprint(hw.SIPS))
 		tb.AddRow("memory cutoff (panic isolation)", fmt.Sprint(hw.Cutoff))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("scalability") {
+	run("scalability", func(c *runCtx) {
 		points := harness.RunScalability([]int{1, 2, 4, 8, 16})
 		tb := stats.NewTable("§1 ablation — shared-everything SMP OS vs multicellular Hive (kernel ops completed)",
 			"CPUs", "SMP OS", "Hive (1 cell/CPU)", "Hive/SMP")
 		for _, p := range points {
+			c.metric(fmt.Sprintf("smp_ops_%dcpu", p.CPUs), float64(p.SMPOps))
+			c.metric(fmt.Sprintf("hive_ops_%dcpu", p.CPUs), float64(p.HiveOps))
 			tb.AddRow(fmt.Sprint(p.CPUs), fmt.Sprint(p.SMPOps), fmt.Sprint(p.HiveOps),
 				fmt.Sprintf("%.2fx", float64(p.HiveOps)/float64(p.SMPOps)))
 		}
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("cowlookup") {
-		c := harness.RunCOWLookupComparison()
+	run("cowlookup", func(c *runCtx) {
+		r := harness.RunCOWLookupComparison()
+		c.metric("sharedmem_us", r.SharedMemUs)
+		c.metric("rpc_us", r.RPCUs)
+		c.metric("touch_sm_us", r.TouchSMUs)
+		c.metric("touch_rpc_us", r.TouchRPCUs)
 		tb := stats.NewTable("§5.3 ablation — COW search: shared memory vs conventional RPC",
 			"quantity", "shared memory", "RPC walk")
-		tb.AddRow("cross-cell lookup (hit at root)", harness.FormatUs(c.SharedMemUs), harness.FormatUs(c.RPCUs))
-		tb.AddRow("end-to-end touch (lookup + bind + access)", harness.FormatUs(c.TouchSMUs), harness.FormatUs(c.TouchRPCUs))
-		fmt.Println(tb)
-		fmt.Println(`paper: "A more conventional RPC-based approach would be simpler and`)
-		fmt.Println(` probably just as fast" — the bind RPC dominates either way.`)
-		fmt.Println()
-	}
+		tb.AddRow("cross-cell lookup (hit at root)", harness.FormatUs(r.SharedMemUs), harness.FormatUs(r.RPCUs))
+		tb.AddRow("end-to-end touch (lookup + bind + access)", harness.FormatUs(r.TouchSMUs), harness.FormatUs(r.TouchRPCUs))
+		c.println(tb)
+		c.println(`paper: "A more conventional RPC-based approach would be simpler and`)
+		c.println(` probably just as fast" — the bind RPC dominates either way.`)
+		c.println()
+	})
 
-	if want("sipsipi") {
-		c := harness.RunSIPSvsIPI()
+	run("sipsipi", func(c *runCtx) {
+		r := harness.RunSIPSvsIPI()
+		c.metric("sips_us", r.SIPSUs)
+		c.metric("ipi_us", r.IPIUs)
 		tb := stats.NewTable("§6 ablation — SIPS vs RPC layered on bare IPIs",
 			"path", "round trip")
-		tb.AddRow("SIPS (hardware message support)", harness.FormatUs(c.SIPSUs))
-		tb.AddRow("IPI + polled per-sender shared-memory queues", harness.FormatUs(c.IPIUs))
-		fmt.Println(tb)
-	}
+		tb.AddRow("SIPS (hardware message support)", harness.FormatUs(r.SIPSUs))
+		tb.AddRow("IPI + polled per-sender shared-memory queues", harness.FormatUs(r.IPIUs))
+		c.println(tb)
+	})
 
-	if want("fwgran") {
+	run("fwgran", func(c *runCtx) {
 		bv, sb := harness.RunFirewallGranularity()
+		c.metric("bitvector_blocked", float64(bv))
+		c.metric("singlebit_blocked", float64(sb))
 		tb := stats.NewTable("§4.2 ablation — firewall representation (wild writes blocked, 384 issued)",
 			"design", "blocked")
 		tb.AddRow("bit vector per page (FLASH)", fmt.Sprint(bv))
 		tb.AddRow("single bit per page (rejected: global grant)", fmt.Sprint(sb))
-		fmt.Println(tb)
-	}
+		c.println(tb)
+	})
 
-	if want("ccnow") {
-		c := harness.RunCCNOW()
+	run("ccnow", func(c *runCtx) {
+		r := harness.RunCCNOW()
+		c.metric("fault_local_us", r.FaultLocalUs)
+		c.metric("fault_remote_us", r.FaultRemoteUs)
+		c.metric("detect_ms", r.DetectMs)
+		contained := 0.0
+		if r.Contained {
+			contained = 1
+		}
+		c.metric("contained", contained)
 		tb := stats.NewTable("§8 — CC-NOW: Hive on a cache-coherent network of workstations (5 µs link)",
 			"quantity", "measured")
-		tb.AddRow("local page fault (unchanged)", harness.FormatUs(c.FaultLocalUs))
-		tb.AddRow("remote page fault over the NOW link", harness.FormatUs(c.FaultRemoteUs))
-		tb.AddRow("failure detection", harness.FormatMs(c.DetectMs))
-		tb.AddRow("containment", fmt.Sprint(c.Contained))
-		fmt.Println(tb)
-	}
+		tb.AddRow("local page fault (unchanged)", harness.FormatUs(r.FaultLocalUs))
+		tb.AddRow("remote page fault over the NOW link", harness.FormatUs(r.FaultRemoteUs))
+		tb.AddRow("failure detection", harness.FormatMs(r.DetectMs))
+		tb.AddRow("containment", fmt.Sprint(r.Contained))
+		c.println(tb)
+	})
 
-	if want("agreement") {
+	run("agreement", func(c *runCtx) {
 		ac := harness.RunAgreementComparison()
+		c.metric("oracle_detect_ms", ac.OracleDetectMs)
+		c.metric("vote_detect_ms", ac.VoteDetectMs)
+		voteOK := 0.0
+		if ac.VoteOK {
+			voteOK = 1
+		}
+		c.metric("vote_ok", voteOK)
 		tb := stats.NewTable("§4.3 ablation — agreement oracle vs real voting protocol",
 			"mode", "detection (ms)", "confirmed")
 		tb.AddRow("oracle (paper's configuration)", fmt.Sprintf("%.1f", ac.OracleDetectMs), "true")
 		tb.AddRow("voting protocol", fmt.Sprintf("%.1f", ac.VoteDetectMs), fmt.Sprint(ac.VoteOK))
-		fmt.Println(tb)
+		c.println(tb)
+	})
+
+	ctx.report.TotalWallMs = float64(time.Since(start).Microseconds()) / 1000
+
+	if *jsonOut {
+		enc, err := json.MarshalIndent(ctx.report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hivebench: marshal report:", err)
+			os.Exit(1)
+		}
+		enc = append(enc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "hivebench: write report:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d experiments, %.0f ms total)\n",
+				*outPath, len(ctx.report.Experiments), ctx.report.TotalWallMs)
+		} else {
+			os.Stdout.Write(enc)
+		}
+		return
 	}
 
 	fmt.Println(strings.Repeat("-", 72))

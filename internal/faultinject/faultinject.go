@@ -9,9 +9,11 @@ package faultinject
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/core"
 	"repro/internal/kmem"
+	"repro/internal/parallel"
 	"repro/internal/proc"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -85,10 +87,11 @@ type TrialResult struct {
 	DetectMs     float64 // latency until the last cell enters recovery
 	RecoveryMs   float64 // recovery duration (entry to completion)
 	Detected     bool
-	Contained    bool // injected cell dead, all others alive & serving
-	IntegrityOK  bool // no corrupt data in surviving output files
-	CorrectRunOK bool // post-fault pmake correctness check passed
-	StateOK      bool // cross-cell kernel invariants hold after recovery
+	Contained    bool   // injected cell dead, all others alive & serving
+	IntegrityOK  bool   // no corrupt data in surviving output files
+	CorrectRunOK bool   // post-fault pmake correctness check passed
+	StateOK      bool   // cross-cell kernel invariants hold after recovery
+	TraceHash    uint64 // FNV-1a over the engine's dispatch trace (TrialOpts.TraceHash)
 	Notes        string
 }
 
@@ -109,11 +112,33 @@ const (
 	pathSelf
 )
 
+// TrialOpts tunes one trial's instrumentation.
+type TrialOpts struct {
+	// TraceHash hashes every engine dispatch into TrialResult.TraceHash —
+	// a strict event-order witness for determinism regression tests. Off
+	// by default: the trace hook costs an allocation per dispatch.
+	TraceHash bool
+}
+
 // RunTrial executes one injection trial from a fresh boot.
 func RunTrial(s Scenario, trial int) *TrialResult {
+	return RunTrialOpts(s, trial, TrialOpts{})
+}
+
+// RunTrialOpts is RunTrial with explicit instrumentation options. The trial
+// is entirely self-contained (its own engine, seeded from (s, trial)), so
+// concurrent trials on a parallel.Runner give bit-identical results.
+func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	seed := int64(10007*trial + int(s)*211 + 7)
 	h := workload.BootHiveSeeded(4, seed)
 	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%2}
+	if opts.TraceHash {
+		th := fnv.New64a()
+		h.Eng.Trace = func(at sim.Time, what string) {
+			fmt.Fprintf(th, "%d:%s\n", at, what)
+		}
+		defer func() { res.TraceHash = th.Sum64() }()
+	}
 	// Target cells 1 or 2: neither hosts /usr (cell 0) nor /tmp (cell 3),
 	// so the correctness check has its file servers after the fault —
 	// the paper's workloads survive only if their resources do (§2).
@@ -371,13 +396,29 @@ type CampaignRow struct {
 	Failures  []string
 }
 
-// RunScenario runs `tests` trials of a scenario and aggregates.
+// RunScenario runs `tests` trials of a scenario and aggregates. Trials fan
+// out across the process-wide parallel runner; see RunScenarioWith.
 func RunScenario(s Scenario, tests int) *CampaignRow {
-	row := &CampaignRow{Scenario: s, Tests: tests, AllOK: true}
+	return RunScenarioWith(parallel.Default(), s, tests)
+}
+
+// RunScenarioWith runs `tests` trials of a scenario on r's worker pool and
+// aggregates them in trial order. Each trial boots its own simulation from
+// a seed derived from (scenario, trial), so the aggregate row — averages,
+// maxima, and failure list — is byte-identical at any worker count.
+func RunScenarioWith(r *parallel.Runner, s Scenario, tests int) *CampaignRow {
+	trials := parallel.Map(r, tests, func(i int) *TrialResult {
+		return RunTrial(s, i)
+	})
+	return Aggregate(s, trials)
+}
+
+// Aggregate folds a scenario's ordered trial results into a Table 7.4 row.
+func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
+	row := &CampaignRow{Scenario: s, Tests: len(trials), AllOK: true}
 	var sumD, sumR float64
 	n := 0
-	for i := 0; i < tests; i++ {
-		tr := RunTrial(s, i)
+	for i, tr := range trials {
 		if !tr.OK() {
 			row.AllOK = false
 			row.Failures = append(row.Failures,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fs"
 	"repro/internal/machine"
+	"repro/internal/parallel"
 	"repro/internal/proc"
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -276,6 +277,9 @@ type Table72Row struct {
 }
 
 // RunTable72 executes the three workloads on IRIX and 1/2/4-cell Hive.
+// The twelve (workload, system) configurations are independent boots, so
+// they fan out across the process-wide parallel runner; slowdowns are then
+// assembled from the ordered timings, identical at any worker count.
 func RunTable72() []Table72Row {
 	type runner func(h *core.Hive) *workload.Result
 	workloads := []struct {
@@ -292,19 +296,27 @@ func RunTable72() []Table72Row {
 			return workload.RunPmake(h, workload.DefaultPmake(), 120*sim.Second)
 		}},
 	}
-	var rows []Table72Row
-	for _, w := range workloads {
-		row := Table72Row{Workload: w.name}
-		base := w.run(workload.BootIRIX()).Elapsed.Seconds()
-		row.IRIXSec = base
-		slow := func(cells int) float64 {
-			el := w.run(workload.BootHive(cells)).Elapsed.Seconds()
-			return (el/base - 1) * 100
+	systems := []int{0, 1, 2, 4} // 0 = the IRIX baseline
+	elapsed := parallel.Map(parallel.Default(), len(workloads)*len(systems), func(i int) float64 {
+		w := workloads[i/len(systems)]
+		cells := systems[i%len(systems)]
+		h := workload.BootIRIX()
+		if cells > 0 {
+			h = workload.BootHive(cells)
 		}
-		row.Slowdown1 = slow(1)
-		row.Slowdown2 = slow(2)
-		row.Slowdown4 = slow(4)
-		rows = append(rows, row)
+		return w.run(h).Elapsed.Seconds()
+	})
+	var rows []Table72Row
+	for wi, w := range workloads {
+		t := elapsed[wi*len(systems) : (wi+1)*len(systems)]
+		base := t[0]
+		rows = append(rows, Table72Row{
+			Workload:  w.name,
+			IRIXSec:   base,
+			Slowdown1: (t[1]/base - 1) * 100,
+			Slowdown2: (t[2]/base - 1) * 100,
+			Slowdown4: (t[3]/base - 1) * 100,
+		})
 	}
 	return rows
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/machine"
 	"repro/internal/membership"
+	"repro/internal/parallel"
 	"repro/internal/proc"
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -28,13 +29,33 @@ func RunTable74(scale float64) []*Table74Row {
 		faultinject.CorruptAddrMap,
 		faultinject.CorruptCOWTree,
 	}
-	var rows []*Table74Row
-	for _, s := range scenarios {
+	// Flatten the campaign to (scenario, trial) units so the worker pool
+	// load-balances across scenario boundaries; aggregate per scenario
+	// afterwards in trial order (identical at any worker count).
+	counts := make([]int, len(scenarios))
+	total := 0
+	for i, s := range scenarios {
 		n := int(float64(s.PaperTests())*scale + 0.5)
 		if n < 1 {
 			n = 1
 		}
-		rows = append(rows, faultinject.RunScenario(s, n))
+		counts[i] = n
+		total += n
+	}
+	trials := parallel.Map(parallel.Default(), total, func(i int) *faultinject.TrialResult {
+		for si, n := range counts {
+			if i < n {
+				return faultinject.RunTrial(scenarios[si], i)
+			}
+			i -= n
+		}
+		panic("unreachable")
+	})
+	var rows []*Table74Row
+	off := 0
+	for si, s := range scenarios {
+		rows = append(rows, faultinject.Aggregate(s, trials[off:off+counts[si]]))
+		off += counts[si]
 	}
 	return rows
 }
@@ -93,27 +114,33 @@ type ScalabilityPoint struct {
 	HiveOps int64
 }
 
-// RunScalability executes the ablation.
+// RunScalability executes the ablation. Each (cpu count, OS design) probe
+// is an independent boot, so the 2×len(cpuCounts) units fan out across the
+// process-wide parallel runner.
 func RunScalability(cpuCounts []int) []ScalabilityPoint {
-	var out []ScalabilityPoint
 	const (
 		opService = 80 * sim.Microsecond
 		burst     = 150 * sim.Microsecond
 		duration  = 300 * sim.Millisecond
 		procsPer  = 3
 	)
-	for _, n := range cpuCounts {
-		sys := smpos.Boot(n, smpos.DefaultConfig())
-		smpOps := sys.ThroughputProbe(procsPer*n, opService, burst, duration)
-
+	ops := parallel.Map(parallel.Default(), 2*len(cpuCounts), func(i int) int64 {
+		n := cpuCounts[i/2]
+		if i%2 == 0 {
+			sys := smpos.Boot(n, smpos.DefaultConfig())
+			return sys.ThroughputProbe(procsPer*n, opService, burst, duration)
+		}
 		cfg := core.DefaultConfig()
 		cfg.Machine.Nodes = n
 		cfg.Cells = n
 		cfg.Mounts = nil
 		h := core.Boot(cfg)
-		hiveOps := smpos.HiveThroughputProbe(h, procsPer, opService, burst, duration,
+		return smpos.HiveThroughputProbe(h, procsPer, opService, burst, duration,
 			smpos.DefaultConfig().LockedFraction)
-		out = append(out, ScalabilityPoint{CPUs: n, SMPOps: smpOps, HiveOps: hiveOps})
+	})
+	var out []ScalabilityPoint
+	for i, n := range cpuCounts {
+		out = append(out, ScalabilityPoint{CPUs: n, SMPOps: ops[2*i], HiveOps: ops[2*i+1]})
 	}
 	return out
 }
@@ -159,10 +186,10 @@ func RunDetectionSweep(trials int) (avg, max float64) {
 }
 
 // RunDetectionSweepAt runs the sweep with an explicit clock-check period
-// (in ticks) — the real §4.3 frequency/vulnerability curve.
+// (in ticks) — the real §4.3 frequency/vulnerability curve. Trials are
+// independent boots and run on the process-wide parallel runner.
 func RunDetectionSweepAt(checkEvery, trials int) (avg, max float64) {
-	var sum float64
-	for i := 0; i < trials; i++ {
+	ds := parallel.Map(parallel.Default(), trials, func(i int) float64 {
 		cfg := core.DefaultConfig()
 		cfg.Machine.MemPerNodeMB = 4
 		cfg.Seed = int64(31 + i*17)
@@ -172,7 +199,10 @@ func RunDetectionSweepAt(checkEvery, trials int) (avg, max float64) {
 		at := h.Eng.Now()
 		h.Cells[1].FailHardware()
 		h.RunUntil(func() bool { return h.Coord.LiveCount() == 3 }, h.Eng.Now()+2*sim.Second)
-		d := (h.Coord.LastDetectAt - at).Millis()
+		return (h.Coord.LastDetectAt - at).Millis()
+	})
+	var sum float64
+	for _, d := range ds {
 		sum += d
 		if d > max {
 			max = d

@@ -7,6 +7,10 @@
 // The engine plays the role SimOS played for the original Hive work: it lets
 // "kernel" code written in ordinary blocking style (RPCs, lock waits, disk
 // I/O) execute against a virtual clock.
+//
+// Engines are fully self-contained: two engines share no state, so
+// independent simulations may run concurrently on separate OS threads
+// (see internal/parallel) with bit-identical per-engine results.
 package sim
 
 import (
@@ -58,6 +62,8 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 type Engine struct {
 	now     Time
 	events  eventHeap
+	nLive   int // scheduled, non-cancelled events (cancellation is lazy)
+	free    []*Event
 	seq     uint64
 	rng     *rand.Rand
 	cur     *Task
@@ -83,15 +89,61 @@ func (e *Engine) Now() Time { return e.now }
 // simulation context (tasks or event callbacks) to preserve determinism.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
-func (e *Engine) At(t Time, fn func()) *Event {
+// schedule inserts an event at absolute time t (clamped to now), drawing
+// from the freelist when possible.
+func (e *Engine) schedule(t Time, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	ev := &Event{engine: e, at: t, seq: e.seq, fn: fn, index: -1}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{engine: e, at: t, seq: e.seq, fn: fn, index: -1}
+	} else {
+		ev = &Event{engine: e, at: t, seq: e.seq, fn: fn, index: -1}
+	}
 	heap.Push(&e.events, ev)
+	e.nLive++
 	return ev
+}
+
+// atOwned schedules an engine-owned event: the pointer is never handed to
+// simulation code, so the engine recycles it through the freelist as soon
+// as it fires. All internal timers (task wakes, sleeps) go through here.
+func (e *Engine) atOwned(t Time, fn func()) *Event {
+	ev := e.schedule(t, fn)
+	ev.owned = true
+	return ev
+}
+
+// recycle puts a dead event (not in the heap, no outstanding references)
+// back on the freelist.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
+// release relinquishes the caller's reference to an event that has either
+// fired or been cancelled. If it already left the heap it is recycled now;
+// if it is still queued (lazily cancelled) the pop path reclaims it.
+func (e *Engine) release(ev *Event) {
+	if ev.index >= 0 {
+		ev.owned = true
+		return
+	}
+	if !ev.owned { // owned events are recycled by the dispatch loop
+		e.recycle(ev)
+	}
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now). The
+// returned Event stays valid indefinitely: it is never recycled, so Cancel,
+// Reschedule, and Pending are safe at any later point.
+func (e *Engine) At(t Time, fn func()) *Event {
+	return e.schedule(t, fn)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -112,18 +164,27 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // Stop is called. A deadline of 0 means run until idle. It panics if a task
 // panicked (propagating the original value) and returns the final time.
 func (e *Engine) Run(deadline Time) Time {
-	for !e.stopped && e.events.Len() > 0 {
+	for !e.stopped && len(e.events) > 0 {
 		ev := e.events[0]
+		if ev.cancelled { // lazily-cancelled: discard without firing
+			heap.Pop(&e.events)
+			if ev.owned {
+				e.recycle(ev)
+			}
+			continue
+		}
 		if deadline > 0 && ev.at > deadline {
 			e.now = deadline
 			break
 		}
 		heap.Pop(&e.events)
-		if ev.cancelled {
-			continue
-		}
+		e.nLive--
 		e.now = ev.at
-		ev.fn()
+		fn, owned := ev.fn, ev.owned
+		fn()
+		if owned {
+			e.recycle(ev)
+		}
 		if e.failure != nil {
 			panic(e.failure)
 		}
@@ -136,13 +197,21 @@ func (e *Engine) Run(deadline Time) Time {
 
 // Step processes a single event, returning false when the queue is empty.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
+	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.cancelled {
+			if ev.owned {
+				e.recycle(ev)
+			}
 			continue
 		}
+		e.nLive--
 		e.now = ev.at
-		ev.fn()
+		fn, owned := ev.fn, ev.owned
+		fn()
+		if owned {
+			e.recycle(ev)
+		}
 		if e.failure != nil {
 			panic(e.failure)
 		}
@@ -151,16 +220,9 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Pending returns the number of scheduled (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (non-cancelled) events. It is
+// O(1): the engine keeps the count current across push, pop, and cancel.
+func (e *Engine) Pending() int { return e.nLive }
 
 // LiveTasks returns the number of tasks that have been started and have not
 // yet finished.
@@ -207,21 +269,29 @@ type Event struct {
 	fn        func()
 	index     int
 	cancelled bool
+	owned     bool // engine-owned: recycled once it leaves the heap
 }
 
 // When returns the time the event is scheduled to fire.
 func (ev *Event) When() Time { return ev.at }
 
 // Cancel prevents the event from firing. It reports whether the event was
-// still pending.
+// still pending. Cancellation is lazy: the event stays in the queue and is
+// discarded when it reaches the front, so Cancel is O(1) instead of the
+// O(log n) heap splice it used to be.
 func (ev *Event) Cancel() bool {
 	if ev.cancelled || ev.index < 0 {
 		ev.cancelled = true
 		return false
 	}
 	ev.cancelled = true
-	heap.Remove(&ev.engine.events, ev.index)
-	ev.index = -1
+	e := ev.engine
+	e.nLive--
+	// Amortized cleanup: when over half the queue is cancelled garbage,
+	// rebuild it so pushes stay O(log live) rather than O(log total).
+	if len(e.events) >= 64 && e.nLive < len(e.events)/2 {
+		e.compact()
+	}
 	return true
 }
 
@@ -242,6 +312,30 @@ func (ev *Event) Reschedule(t Time) bool {
 
 // Pending reports whether the event is still scheduled.
 func (ev *Event) Pending() bool { return !ev.cancelled && ev.index >= 0 }
+
+// compact drops cancelled events from the queue and re-establishes the heap
+// invariant. O(n), amortized against the cancellations that triggered it.
+func (e *Engine) compact() {
+	keep := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			ev.index = -1
+			if ev.owned {
+				e.recycle(ev)
+			}
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	for i := len(keep); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	for i, ev := range keep {
+		ev.index = i
+	}
+	e.events = keep
+	heap.Init(&e.events)
+}
 
 // eventHeap orders events by (time, sequence), giving FIFO order among
 // simultaneous events — the property that makes runs deterministic.

@@ -33,6 +33,7 @@ type Task struct {
 	killed   bool
 	timedOut bool
 	wakeEv   *Event
+	liveIdx  int // position in eng.live, for O(1) removal on exit
 
 	// Data lets subsystems attach context (e.g. the owning cell) without
 	// threading extra parameters everywhere.
@@ -53,6 +54,7 @@ func (e *Engine) Go(name string, fn func(t *Task)) *Task {
 		yield:  make(chan struct{}),
 	}
 	e.nTasks++
+	t.liveIdx = len(e.live)
 	e.live = append(e.live, t)
 	go func() {
 		<-t.resume // wait for first dispatch
@@ -74,7 +76,7 @@ func (e *Engine) Go(name string, fn func(t *Task)) *Task {
 		}
 		fn(t)
 	}()
-	e.At(e.now, func() {
+	e.atOwned(e.now, func() {
 		if !t.done {
 			e.dispatch(t)
 		}
@@ -88,7 +90,9 @@ func (e *Engine) dispatch(t *Task) {
 	prev := e.cur
 	e.cur = t
 	t.started = true
-	e.trace("run " + t.name)
+	if e.Trace != nil {
+		e.Trace(e.now, "run "+t.name)
+	}
 	t.resume <- struct{}{}
 	<-t.yield
 	e.cur = prev
@@ -101,13 +105,20 @@ func (e *Engine) dispatch(t *Task) {
 	}
 }
 
+// removeLive drops a finished task from the live set by swapping it with
+// the last entry — O(1) instead of the O(n) splice it used to be. Live-set
+// order is not meaningful; diagnostics that need determinism sort by name.
 func (e *Engine) removeLive(t *Task) {
-	for i, lt := range e.live {
-		if lt == t {
-			e.live = append(e.live[:i], e.live[i+1:]...)
-			return
-		}
+	i := t.liveIdx
+	if i < 0 || i >= len(e.live) || e.live[i] != t {
+		return
 	}
+	last := len(e.live) - 1
+	e.live[i] = e.live[last]
+	e.live[i].liveIdx = i
+	e.live[last] = nil
+	e.live = e.live[:last]
+	t.liveIdx = -1
 }
 
 // Name returns the task's name.
@@ -154,24 +165,25 @@ func (t *Task) wake(timedOut bool) {
 // Safe to call from any simulation context. Waking a task that is not parked
 // is a no-op.
 func (t *Task) WakeSoon() {
-	t.eng.At(t.eng.now, func() { t.wake(false) })
+	t.eng.atOwned(t.eng.now, func() { t.wake(false) })
 }
 
 // Sleep suspends the task for d nanoseconds of virtual time.
 func (t *Task) Sleep(d Time) {
 	if d <= 0 {
 		// Yield: reschedule self after simultaneous events.
-		t.eng.At(t.eng.now, func() { t.wake(false) })
+		t.eng.atOwned(t.eng.now, func() { t.wake(false) })
 		t.park()
 		return
 	}
-	t.eng.After(d, func() { t.wake(false) })
+	t.eng.atOwned(t.eng.now+d, func() { t.wake(false) })
 	t.park()
 }
 
 // SleepEvent suspends the task for d nanoseconds but exposes the wake event
 // before parking via register, so another party may Reschedule it (interrupt
-// time-stealing) while the task sleeps.
+// time-stealing) while the task sleeps. The exposed event is never recycled,
+// so holding the pointer past the sleep is safe.
 func (t *Task) SleepEvent(d Time, register func(*Event)) {
 	ev := t.eng.After(d, func() { t.wake(false) })
 	if register != nil {
@@ -192,6 +204,7 @@ func (t *Task) BlockTimeout(d Time) (timedOut bool) {
 	tev := t.eng.After(d, func() { t.wake(true) })
 	t.park()
 	tev.Cancel()
+	t.eng.release(tev) // this call held the only reference
 	return t.timedOut
 }
 
@@ -206,7 +219,7 @@ func (t *Task) Kill() {
 	if t == t.eng.cur {
 		panic(killedPanic{t.name})
 	}
-	t.eng.At(t.eng.now, func() {
+	t.eng.atOwned(t.eng.now, func() {
 		if t.done {
 			return
 		}
