@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-engine bench-report clean
+.PHONY: all build test lint check race bench bench-engine bench-report clean
 
 all: check
 
@@ -12,11 +12,18 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the tier-1 gate: build, vet, full test suite, and the race
-# detector over the packages that actually use OS-level concurrency (the
-# parallel trial runner) plus the engine it drives.
+# lint runs hivelint, the in-tree determinism & layering suite
+# (internal/lint). The same suite is also gated inside `go test ./...`
+# via the internal/lint self-test.
+lint:
+	$(GO) run ./cmd/hivelint
+
+# check is the tier-1 gate: build, vet, hivelint, full test suite, and
+# the race detector over the packages that actually use OS-level
+# concurrency (the parallel trial runner) plus the engine it drives.
 check: build
 	$(GO) vet ./...
+	$(GO) run ./cmd/hivelint
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/... ./internal/sim/...
 

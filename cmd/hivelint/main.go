@@ -1,0 +1,137 @@
+// Command hivelint runs the determinism & layering static-analysis
+// suite (internal/lint) over the module's own source.
+//
+// Usage:
+//
+//	hivelint              # lint the whole module (root found from cwd)
+//	hivelint -C path/to/repo
+//	hivelint ./internal/vm ./internal/wax
+//	hivelint -json        # machine-readable diagnostics
+//	hivelint -list        # show the analyzers and the layer table
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		root     = flag.String("C", "", "module root (default: walk up from the working directory)")
+		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
+		listOnly = flag.Bool("list", false, "list analyzers and the layering table, then exit")
+	)
+	flag.Parse()
+
+	cfg := lint.DefaultConfig()
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("\nlayering ranks (imports must flow strictly downward):")
+		for _, row := range lint.LayerTable(cfg) {
+			fmt.Println("  " + row)
+		}
+		return
+	}
+
+	if *root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		*root = lint.FindModuleRoot(cwd)
+		if *root == "" {
+			fatal(fmt.Errorf("no go.mod for module %s above the working directory; use -C", cfg.ModulePath))
+		}
+	}
+
+	m, err := lint.LoadModule(*root, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *lint.Result
+	if args := flag.Args(); len(args) > 0 {
+		res = &lint.Result{}
+		for _, arg := range args {
+			dir := arg
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(*root, arg)
+			}
+			pkg, err := m.LoadPackage(dir)
+			if err != nil {
+				fatal(err)
+			}
+			res.Diagnostics = append(res.Diagnostics, lint.RunAnalyzers(pkg, cfg, lint.Analyzers())...)
+			res.Pragmas = append(res.Pragmas, pkg.Pragmas()...)
+		}
+		lint.SortDiagnostics(res.Diagnostics)
+	} else {
+		res, err = m.Lint(nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut {
+		report := struct {
+			Module      string            `json:"module"`
+			Analyzers   []string          `json:"analyzers"`
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+			Pragmas     []lint.PragmaUse  `json:"pragmas"`
+		}{cfg.ModulePath, lint.AnalyzerNames(), relativize(res.Diagnostics, *root), relativizePragmas(res.Pragmas, *root)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range relativize(res.Diagnostics, *root) {
+			fmt.Println(d)
+		}
+		if len(res.Diagnostics) == 0 {
+			fmt.Printf("hivelint: %d analyzers, 0 diagnostics, %d ignore pragmas\n",
+				len(lint.Analyzers()), len(res.Pragmas))
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize rewrites absolute file names relative to the module root
+// so output is stable across checkouts (and diffable in CI logs).
+func relativize(diags []lint.Diagnostic, root string) []lint.Diagnostic {
+	out := make([]lint.Diagnostic, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(root, d.File); err == nil {
+			d.File = rel
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func relativizePragmas(pragmas []lint.PragmaUse, root string) []lint.PragmaUse {
+	out := make([]lint.PragmaUse, len(pragmas))
+	for i, p := range pragmas {
+		if rel, err := filepath.Rel(root, p.File); err == nil {
+			p.File = rel
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hivelint: "+err.Error())
+	os.Exit(2)
+}

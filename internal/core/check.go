@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/vm"
 )
 
 // CheckInvariants audits the cross-cell consistency of the memory-sharing
@@ -36,8 +38,11 @@ func (h *Hive) CheckInvariants() []string {
 	for _, c := range h.LiveCells() {
 		v := c.VM
 
-		// 1. Hash/frames coherence.
-		for lp, pf := range v.Hash() {
+		// 1. Hash/frames coherence. Maps are audited in sorted key
+		// order so the violation report is deterministic.
+		hash := v.Hash()
+		for _, lp := range vm.SortedPages(hash) {
+			pf := hash[lp]
 			if !pf.Valid {
 				report("cell%d: hash entry %v not Valid", c.ID, lp)
 			}
@@ -73,7 +78,9 @@ func (h *Hive) CheckInvariants() []string {
 		}
 
 		// 3. Ownership claims (resolved after the loop).
-		for f, pf := range v.FramesOfCell() {
+		frames := v.FramesOfCell()
+		for _, f := range sortedFrameKeys(frames) {
+			pf := frames[f]
 			owner := h.CellOfNode[h.M.HomeNode(f)]
 			claims := owner == c.ID && pf.LoanedTo < 0 ||
 				pf.BorrowedFrom >= 0 // borrower's claim
@@ -89,7 +96,9 @@ func (h *Hive) CheckInvariants() []string {
 
 	// 4. Export/import symmetry among live cells.
 	for _, c := range h.LiveCells() {
-		for lp, pf := range c.VM.Hash() {
+		hash := c.VM.Hash()
+		for _, lp := range vm.SortedPages(hash) {
+			pf := hash[lp]
 			if pf.ImportedFrom >= 0 && live(pf.ImportedFrom) {
 				home := h.Cells[pf.ImportedFrom].VM
 				hpf, ok := home.Lookup(lp)
@@ -98,7 +107,7 @@ func (h *Hive) CheckInvariants() []string {
 						c.ID, lp, pf.ImportedFrom)
 				}
 			}
-			for client := range pf.Exports() {
+			for _, client := range pf.ExportClients() {
 				if !live(client) {
 					report("cell%d still exports %v to dead cell%d", c.ID, lp, client)
 					continue
@@ -114,7 +123,9 @@ func (h *Hive) CheckInvariants() []string {
 
 	// 5. Firewall soundness for live cells' local frames.
 	for _, c := range h.LiveCells() {
-		for f, pf := range c.VM.FramesOfCell() {
+		frames := c.VM.FramesOfCell()
+		for _, f := range sortedFrameKeys(frames) {
+			pf := frames[f]
 			if h.CellOfNode[h.M.HomeNode(f)] != c.ID {
 				continue
 			}
@@ -138,4 +149,15 @@ func (h *Hive) CheckInvariants() []string {
 		}
 	}
 	return bad
+}
+
+// sortedFrameKeys returns m's frame numbers ascending, the deterministic
+// iteration order for frame-map audits.
+func sortedFrameKeys(m map[machine.PageNum]*vm.Pfdat) []machine.PageNum {
+	out := make([]machine.PageNum, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -570,7 +570,7 @@ func (f *FS) Sync(t *sim.Task) int {
 	for id := range f.files {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sort.SliceStable(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		file := f.files[id]
 		for off := int64(0); off < file.SizePgs; off++ {

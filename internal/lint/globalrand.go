@@ -1,0 +1,52 @@
+package lint
+
+import "go/ast"
+
+// globalrand: the process-wide math/rand generator is shared mutable
+// state. Two engines drawing from it interleave nondeterministically,
+// and any library call that also touches it perturbs every later draw.
+// All randomness must flow from an engine-seeded *rand.Rand, so a seed
+// fully determines a run. Applies to the whole module, including cmd/:
+// a report generator that shuffles via the global source is just as
+// unreproducible.
+var globalrandAnalyzer = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no package-level math/rand functions; use an engine-seeded *rand.Rand",
+	Run:  runGlobalrand,
+}
+
+// globalrandAllowed are the math/rand (and v2) names that construct or
+// name generators rather than drawing from the global one.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+	"Rand":       true,
+	"Source":     true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func runGlobalrand(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || globalrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			ipath, ok := p.importedPackage(file, id)
+			if !ok || (ipath != "math/rand" && ipath != "math/rand/v2") {
+				return true
+			}
+			p.Reportf(sel.Pos(), "rand.%s draws from the process-global generator; thread an engine-seeded *rand.Rand instead", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// maporder: Go randomizes map iteration order per run, so any `range`
+// over a map whose order can escape — into an appended slice, an
+// emitted line, a float accumulation, an RPC issue order — makes two
+// runs of the same seed diverge. PR 1 already had to fix exactly this
+// in hivebench's Table 7.2 footer.
+//
+// The analyzer flags every range-over-map in model code except two
+// provably safe shapes:
+//
+//  1. An order-insensitive body: statements restricted to commutative
+//     updates (integer += / ++, set-style writes m[k]=v, delete),
+//     conditionals over them, and constant-result early returns
+//     (membership tests). Calls are conservatively treated as escapes
+//     except len/cap/min/max and type conversions; float accumulation
+//     is an escape because float addition does not commute.
+//
+//  2. The collect-then-sort idiom: the body only appends to a slice
+//     that a later statement of the same block passes to sort.* /
+//     slices.* — the canonical "keys, then sort, then iterate" shape.
+//
+// Anything else needs either a rewrite via sorted keys or an explicit
+// //hive:lint-ignore maporder <reason>.
+var maporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "no map iteration whose order can escape; sort keys first or prove the body commutative",
+	Run:  runMaporder,
+}
+
+func runMaporder(p *Pass) {
+	if !p.Cfg.ModelPackage(p.Pkg.Path) || p.Pkg.Info == nil {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		// Walk statement lists so a range statement can see its
+		// following siblings (for the collect-then-sort idiom).
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok || !p.isMapType(rs.X) {
+					continue
+				}
+				if p.orderInsensitiveBody(rs.Body.List) {
+					continue
+				}
+				if p.collectThenSort(file, rs, list[i+1:]) {
+					continue
+				}
+				p.Reportf(rs.Pos(), "map iteration order escapes here; sort the keys first (or make the body commutative, or annotate //hive:lint-ignore maporder <reason>)")
+			}
+			return true
+		})
+	}
+}
+
+// isMapType reports whether e is statically a map.
+func (p *Pass) isMapType(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// ---------------------------------------------------------------------
+// Shape 1: order-insensitive bodies
+// ---------------------------------------------------------------------
+
+// orderInsensitiveBody reports whether executing stmts once per map
+// entry yields the same final state for every visit order.
+func (p *Pass) orderInsensitiveBody(stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		if !p.orderInsensitiveStmt(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) orderInsensitiveStmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		return p.orderInsensitiveAssign(st)
+	case *ast.IncDecStmt:
+		return p.pureExpr(st.X)
+	case *ast.ExprStmt:
+		// Only delete(m, k) — any other call could emit in map order.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && p.isBuiltin(id) {
+				return p.pureExprs(call.Args)
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if st.Init != nil && !p.orderInsensitiveStmt(st.Init) {
+			return false
+		}
+		if !p.pureExpr(st.Cond) {
+			return false
+		}
+		if !p.orderInsensitiveBody(st.Body.List) {
+			return false
+		}
+		if st.Else != nil {
+			return p.orderInsensitiveStmt(st.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return p.orderInsensitiveBody(st.List)
+	case *ast.RangeStmt:
+		// A nested range over a *slice/array* is fine if its body is;
+		// a nested map range inherits the outer nondeterminism (and is
+		// additionally checked on its own).
+		if p.isMapType(st.X) {
+			return false
+		}
+		return p.pureExpr(st.X) && p.orderInsensitiveBody(st.Body.List)
+	case *ast.ForStmt:
+		if st.Init != nil && !p.orderInsensitiveStmt(st.Init) {
+			return false
+		}
+		if st.Cond != nil && !p.pureExpr(st.Cond) {
+			return false
+		}
+		if st.Post != nil && !p.orderInsensitiveStmt(st.Post) {
+			return false
+		}
+		return p.orderInsensitiveBody(st.Body.List)
+	case *ast.BranchStmt:
+		// continue just skips an entry; break makes "which entries ran"
+		// order-dependent.
+		return st.Tok == token.CONTINUE
+	case *ast.ReturnStmt:
+		// Returning a constant (membership tests: `if ok { return true }`)
+		// gives the same answer for every visit order. Returning a key
+		// or value picks an arbitrary entry.
+		for _, r := range st.Results {
+			if !p.constantExpr(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || !p.pureExprs(vs.Values) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// orderInsensitiveAssign accepts commutative updates and set-style
+// writes; everything else (notably plain `x = v`, float accumulation,
+// and append) is treated as an order escape.
+func (p *Pass) orderInsensitiveAssign(st *ast.AssignStmt) bool {
+	switch st.Tok {
+	case token.DEFINE:
+		// Fresh per-iteration locals are fine as long as the
+		// initializers cannot emit.
+		return p.pureExprs(st.Rhs)
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// Commutative only over integers: float addition is not
+		// associative, so accumulation order changes the sum.
+		for _, lhs := range st.Lhs {
+			if p.isFloat(lhs) {
+				return false
+			}
+		}
+		return p.pureExprs(st.Lhs) && p.pureExprs(st.Rhs)
+	case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		return p.pureExprs(st.Lhs) && p.pureExprs(st.Rhs)
+	case token.ASSIGN:
+		// Two idempotent shapes are safe. m[k] = v is a set-style
+		// write: each entry lands in its own slot regardless of visit
+		// order. x = <constant> (flag setting, `if failed[c] { doomed
+		// = true }`) converges to the same value no matter which entry
+		// triggers it first.
+		constRhs := true
+		for _, rhs := range st.Rhs {
+			if !p.constantExpr(rhs) {
+				constRhs = false
+			}
+		}
+		for _, lhs := range st.Lhs {
+			switch lhs.(type) {
+			case *ast.IndexExpr:
+			case *ast.Ident:
+				if !constRhs {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return p.pureExprs(st.Lhs) && p.pureExprs(st.Rhs)
+	default:
+		return false
+	}
+}
+
+// pureExpr conservatively accepts expressions that cannot observe or
+// leak iteration order: operands, field/index reads, arithmetic, plus
+// len/cap/min/max and type conversions. Any other call is an escape.
+func (p *Pass) pureExpr(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && p.isBuiltin(id) {
+			switch id.Name {
+			case "len", "cap", "min", "max":
+				return true
+			}
+		}
+		if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+func (p *Pass) pureExprs(es []ast.Expr) bool {
+	for _, e := range es {
+		if !p.pureExpr(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// isFloat reports whether e's static type has a float kind.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// constantExpr accepts literals and the predeclared true/false/nil.
+func (p *Pass) constantExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		switch e.Name {
+		case "true", "false", "nil":
+			return p.isBuiltin(e)
+		}
+	}
+	return false
+}
+
+// isBuiltin reports whether id resolves to a universe-scope object (or
+// is unresolvable, in which case we trust the spelling).
+func (p *Pass) isBuiltin(id *ast.Ident) bool {
+	if p.Pkg.Info == nil {
+		return true
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	return obj.Parent() == types.Universe
+}
+
+// ---------------------------------------------------------------------
+// Shape 2: collect-then-sort
+// ---------------------------------------------------------------------
+
+// collectThenSort recognizes
+//
+//	for k := range m { keys = append(keys, k) }   // possibly if-guarded
+//	sort.Xxx(keys) / slices.Xxx(keys, ...)
+//
+// where the sort call appears among the following statements of the
+// same block before any other use of keys. The appended set is order-
+// independent; the sort then fixes the order (comparator adequacy is
+// stablesort's department).
+func (p *Pass) collectThenSort(file *ast.File, rs *ast.RangeStmt, following []ast.Stmt) bool {
+	target := p.appendOnlyTarget(rs.Body.List, nil)
+	if target == nil {
+		return false
+	}
+	for _, st := range following {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			if usesIdent(st, target.Name) {
+				return false
+			}
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			if usesIdent(st, target.Name) {
+				return false
+			}
+			continue
+		}
+		sel, selOK := call.Fun.(*ast.SelectorExpr)
+		argID, argOK := call.Args[0].(*ast.Ident)
+		if selOK && argOK && argID.Name == target.Name {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if ipath, ok := p.importedPackage(file, id); ok && (ipath == "sort" || ipath == "slices") {
+					return true
+				}
+			}
+		}
+		if usesIdent(st, target.Name) {
+			return false
+		}
+	}
+	return false
+}
+
+// appendOnlyTarget returns the single identifier that every statement
+// in stmts appends to (allowing if-guards with pure conditions), or nil.
+func (p *Pass) appendOnlyTarget(stmts []ast.Stmt, target *ast.Ident) *ast.Ident {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.AssignStmt:
+			id := p.appendAssignTarget(st)
+			if id == nil {
+				return nil
+			}
+			if target == nil {
+				target = id
+			} else if target.Name != id.Name {
+				return nil
+			}
+		case *ast.IfStmt:
+			if st.Init != nil || !p.pureExpr(st.Cond) || st.Else != nil {
+				return nil
+			}
+			target = p.appendOnlyTarget(st.Body.List, target)
+			if target == nil {
+				return nil
+			}
+		case *ast.BranchStmt:
+			if st.Tok != token.CONTINUE {
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	return target
+}
+
+// appendAssignTarget matches `x = append(x, ...)` (or +=-free variants)
+// and returns x.
+func (p *Pass) appendAssignTarget(st *ast.AssignStmt) *ast.Ident {
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		return nil
+	}
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil
+	}
+	lhs, ok := st.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || !p.isBuiltin(fn) {
+		return nil
+	}
+	first, ok := call.Args[0].(*ast.Ident)
+	if !ok || first.Name != lhs.Name {
+		return nil
+	}
+	if !p.pureExprs(call.Args[1:]) {
+		return nil
+	}
+	return lhs
+}
+
+// usesIdent reports whether node mentions name anywhere.
+func usesIdent(node ast.Node, name string) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "go/ast"
+
+// stablesort: sort.Slice, sort.Sort and slices.SortFunc leave the
+// relative order of equal elements unspecified, and the underlying
+// algorithm has changed across Go releases (1.19 moved to pattern-
+// defeating quicksort). A comparator without a total order — like
+// sorting cells by free-page count with no tie-break — therefore
+// produces different outputs on different toolchains even with a fixed
+// seed. Model code must use the stable variants (whose output is fully
+// determined by a deterministic input order) and give comparators an
+// explicit tie-break such as the cell id.
+var stablesortAnalyzer = &Analyzer{
+	Name: "stablesort",
+	Doc:  "no unstable sorts in model packages; use sort.SliceStable/sort.Stable with a total-order comparator",
+	Run:  runStablesort,
+}
+
+// stablesortBanned maps package path to the unstable entry points.
+var stablesortBanned = map[string]map[string]string{
+	"sort": {
+		"Slice": "sort.SliceStable",
+		"Sort":  "sort.Stable",
+	},
+	"slices": {
+		"SortFunc": "slices.SortStableFunc",
+	},
+}
+
+func runStablesort(p *Pass) {
+	if !p.Cfg.ModelPackage(p.Pkg.Path) {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			ipath, ok := p.importedPackage(file, id)
+			if !ok {
+				return true
+			}
+			if repl, banned := stablesortBanned[ipath][sel.Sel.Name]; banned {
+				p.Reportf(call.Pos(), "%s.%s is unstable for equal keys (order varies across Go versions); use %s and a deterministic tie-break",
+					ipath, sel.Sel.Name, repl)
+			}
+			return true
+		})
+	}
+}

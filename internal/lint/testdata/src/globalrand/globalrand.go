@@ -1,0 +1,23 @@
+// Fixture for the globalrand analyzer: every draw must come from an
+// engine-seeded *rand.Rand, never the package-level generator.
+package globalrand
+
+import "math/rand"
+
+func draws(xs []int) {
+	_ = rand.Intn(4)                       // want `rand\.Intn draws from the process-global`
+	_ = rand.Float64()                     // want `rand\.Float64 draws from the process-global`
+	_ = rand.Int63()                       // want `rand\.Int63 draws from the process-global`
+	_ = rand.Perm(8)                       // want `rand\.Perm draws from the process-global`
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand\.Shuffle draws from the process-global`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Negative: constructing a seeded generator and drawing from it is the
+// required pattern.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	return r.Intn(4) + int(z.Uint64())
+}

@@ -1,0 +1,16 @@
+// Fixture for the layering analyzer. The tests load this directory
+// under the fake import path repro/internal/machine — a rank-2
+// substrate — so the DESIGN.md §2 DAG rules apply. (This file is parsed
+// but never type-checked, so the imports need not resolve.)
+package machine
+
+import (
+	_ "repro"                 // want `imports the root package`
+	_ "repro/internal/nosuch" // want `not in the layering table`
+	_ "repro/internal/rpc"    // want `layering inversion: machine \(substrate, rank 2\) must not import rpc \(substrate, rank 3\)`
+	_ "repro/internal/sim"    // below us: legal
+	_ "repro/internal/stats"  // below us: legal
+	_ "repro/internal/vm"     // want `layering inversion: machine \(substrate, rank 2\) must not import vm \(core, rank 4\)`
+
+	_ "fmt" // stdlib is always legal
+)

@@ -1,0 +1,5 @@
+// Fixture for the layering analyzer's self-maintenance rule: the tests
+// load this directory under a fake internal import path that is missing
+// from the layer table, which must itself be a diagnostic so the table
+// cannot silently rot as packages are added.
+package layeringunknown // want `not in the layering table`

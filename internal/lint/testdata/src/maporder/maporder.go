@@ -1,0 +1,133 @@
+// Fixture for the maporder analyzer: map iteration order must never
+// escape into simulation state or output.
+package maporder
+
+import "sort"
+
+// Positive: appending keys without a following sort leaks the order.
+func escapes(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order escapes`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Positive: emitting inside the loop publishes the order directly.
+func emits(m map[string]int) {
+	for k := range m { // want `map iteration order escapes`
+		println(k)
+	}
+}
+
+// Positive: float addition does not commute, so even a plain
+// accumulation is order-sensitive.
+func floatSum(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order escapes`
+		s += v
+	}
+	return s
+}
+
+// Positive: break makes the set of visited entries order-dependent.
+func breaks(m map[int]int) int {
+	n := 0
+	for range m { // want `map iteration order escapes`
+		n++
+		if n > 2 {
+			break
+		}
+	}
+	return n
+}
+
+// Positive: returning a key picks an arbitrary entry.
+func anyKey(m map[int]int) int {
+	for k := range m { // want `map iteration order escapes`
+		return k
+	}
+	return -1
+}
+
+// Negative: integer counting commutes.
+func counts(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Negative: integer accumulation commutes.
+func intSum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Negative: the collect-then-sort idiom fixes the order explicitly.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Negative: collect-then-sort with an if-guard on the collection.
+func sortedPositive(m map[int]int) []int {
+	var keys []int
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Negative: constant-result early return (membership test).
+func contains(m map[int]bool, x int) bool {
+	for k := range m {
+		if k == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Negative: idempotent flag setting converges for any order.
+func anyFailed(deps map[int]bool, failed map[int]bool) bool {
+	doomed := false
+	for c := range deps {
+		if failed[c] {
+			doomed = true
+		}
+	}
+	return doomed
+}
+
+// Negative: set-style writes land each entry in its own slot.
+func invert(m map[int]string) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Negative: deleting while ranging is explicitly allowed by the spec
+// and order-insensitive.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture for the //hive:lint-ignore escape hatch, run under the
+// walltime analyzer.
+package pragma
+
+import "time"
+
+// A well-formed pragma on the preceding line suppresses the diagnostic.
+//
+//hive:lint-ignore walltime fixture exercising the escape hatch
+var suppressed = time.Now()
+
+var alsoSuppressed = time.Now() //hive:lint-ignore walltime same-line pragmas work too
+
+// A pragma without a reason is itself a violation and suppresses
+// nothing.
+//
+//hive:lint-ignore walltime
+var noReason = time.Now() // want `time\.Now is wall-clock`
+
+// A pragma naming an unknown analyzer is a violation too.
+//
+//hive:lint-ignore frobnicate because reasons
+var wrongName = time.Now() // want `time\.Now is wall-clock`
+
+// A pragma for a different analyzer does not suppress this one.
+//
+//hive:lint-ignore maporder wrong analyzer on purpose
+var wrongAnalyzer = time.Now() // want `time\.Now is wall-clock`

@@ -1,0 +1,45 @@
+// Fixture for the stablesort analyzer: unstable sorts leave equal-key
+// order to the whims of the current Go release.
+package stablesort
+
+import (
+	"slices"
+	"sort"
+)
+
+type row struct{ cell, free int }
+
+// Positive: the exact wax.applyPolicy shape this check was written for —
+// equal free-page counts would order arbitrarily.
+func fragile(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].free > rows[j].free }) // want `sort\.Slice is unstable`
+}
+
+// Positive: sort.Sort has the same unspecified equal-key order.
+func viaInterface(d sort.Interface) {
+	sort.Sort(d) // want `sort\.Sort is unstable`
+}
+
+// Positive: the slices package's comparison sort is unstable too.
+func generic(rows []row) {
+	slices.SortFunc(rows, func(a, b row) int { return b.free - a.free }) // want `slices\.SortFunc is unstable`
+}
+
+// Negative: stable variants with a deterministic input order are the
+// sanctioned fix, ideally with an explicit tie-break.
+func fixed(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].free != rows[j].free {
+			return rows[i].free > rows[j].free
+		}
+		return rows[i].cell < rows[j].cell
+	})
+	slices.SortStableFunc(rows, func(a, b row) int { return b.free - a.free })
+}
+
+// Negative: sorts over a total order have no ties to get wrong.
+func totalOrder(xs []int, ss []string) {
+	sort.Ints(xs)
+	sort.Strings(ss)
+	slices.Sort(xs)
+}

@@ -1,0 +1,34 @@
+// Fixture for the walltime analyzer: model code must not read the wall
+// clock. Loaded by the tests as a model package (and once as the
+// allowlisted repro/internal/parallel, expecting silence).
+package walltime
+
+import "time"
+
+var bootEpoch = time.Now() // want `time\.Now is wall-clock`
+
+func sleepy() time.Duration {
+	time.Sleep(time.Millisecond)    // want `time\.Sleep is wall-clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer is wall-clock`
+	t.Stop()
+	_ = time.After(time.Second)  // want `time\.After is wall-clock`
+	return time.Since(bootEpoch) // want `time\.Since is wall-clock`
+}
+
+// Negative: time's pure value helpers are legal — the model uses
+// time.Duration for virtual durations.
+func durations() time.Duration {
+	d := 3 * time.Second
+	return d + time.Millisecond
+}
+
+// Negative: a method that happens to be called Now on a non-package
+// receiver is not the wall clock.
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+func useFake() int {
+	var c fakeClock
+	return c.Now()
+}

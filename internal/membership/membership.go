@@ -354,7 +354,10 @@ func (mon *Monitor) runDiagnostics(t *sim.Task, cell int) {
 		mon.M.Nodes[n].Repair()
 	}
 	mon.Coord.reintegrate(cell)
-	for _, peer := range mon.Coord.monitors {
+	// Notify peers in cell order: the hooks touch live kernel state, so
+	// map iteration order must not leak into the simulation.
+	for _, id := range sortedMonitorIDs(mon.Coord.monitors) {
+		peer := mon.Coord.monitors[id]
 		if peer.Hooks.Reintegrate != nil && !peer.dead && peer.CellID != cell {
 			peer.Hooks.Reintegrate(cell)
 		}
@@ -397,6 +400,16 @@ func (mon *Monitor) probe(t *sim.Task, suspect int) bool {
 
 // sortedCells returns keys ascending (determinism helper).
 func sortedCells(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sortedMonitorIDs returns the registered cell ids ascending.
+func sortedMonitorIDs(m map[int]*Monitor) []int {
 	out := make([]int, 0, len(m))
 	for c := range m {
 		out = append(out, c)

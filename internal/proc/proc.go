@@ -274,12 +274,15 @@ func (pt *Table) KillAll() {
 func (pt *Table) KillDependents(failed map[int]bool) int {
 	n := 0
 	pt.Each(func(p *Process) {
+		doomed := false
 		for c := range p.Deps {
 			if failed[c] {
-				pt.Kill(p)
-				n++
-				break
+				doomed = true
 			}
+		}
+		if doomed {
+			pt.Kill(p)
+			n++
 		}
 	})
 	pt.Metrics.Counter("proc.killed_dependents").Add(int64(n))
@@ -291,7 +294,9 @@ func (pt *Table) KillDependents(failed map[int]bool) int {
 func (pt *Table) Signal(t *sim.Task, group int) {
 	pt.Sched.System(t, SignalCost)
 	pt.signalLocal(group)
-	for c := range pt.EP.Peers {
+	// Peer order fixes the RPC issue order, which the event queue (and
+	// so every downstream timing) observes.
+	for _, c := range pt.EP.PeerIDs() {
 		if c == pt.CellID {
 			continue
 		}

@@ -22,6 +22,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/machine"
 	"repro/internal/sim"
@@ -187,6 +188,18 @@ func (ep *Endpoint) Shutdown() {
 
 // Dead reports whether the endpoint has been shut down.
 func (ep *Endpoint) Dead() bool { return ep.dead }
+
+// PeerIDs returns every peer cell id ascending — the deterministic
+// iteration order for broadcast-style callers (Peers is a map, and map
+// order must never decide the sequence RPCs are issued in).
+func (ep *Endpoint) PeerIDs() []int {
+	out := make([]int, 0, len(ep.Peers))
+	for c := range ep.Peers {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // targetProc picks the destination processor on the callee cell,
 // round-robin over its non-halted processors.

@@ -38,8 +38,11 @@ func (v *VM) RecoveryPhase1(t *sim.Task) {
 		}
 	}
 	// Remove every imported page: the extended pfdats go away and any
-	// process holding a mapping will re-fault after recovery.
-	for lp, pf := range v.hash {
+	// process holding a mapping will re-fault after recovery. Pages are
+	// visited in logical-page order so the drop sequence (and the
+	// resulting free-list order) is deterministic.
+	for _, lp := range SortedPages(v.hash) {
+		pf := v.hash[lp]
 		if pf.ImportedFrom >= 0 {
 			pf.ImportedFrom = -1 // neutralize so stale Unref sends no RPC
 			pf.ImpWritable = false
@@ -183,6 +186,6 @@ func (v *VM) sortedFrames() []machine.PageNum {
 	for f := range v.frames {
 		out = append(out, f)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.SliceStable(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

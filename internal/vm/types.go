@@ -8,6 +8,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/machine"
@@ -38,6 +39,33 @@ type ObjID struct {
 type LogicalPage struct {
 	Obj ObjID
 	Off int64 // page offset within the object
+}
+
+// Less is a total order over logical pages, used wherever a pfdat map
+// must be iterated deterministically.
+func (lp LogicalPage) Less(o LogicalPage) bool {
+	if lp.Obj.Kind != o.Obj.Kind {
+		return lp.Obj.Kind < o.Obj.Kind
+	}
+	if lp.Obj.Home != o.Obj.Home {
+		return lp.Obj.Home < o.Obj.Home
+	}
+	if lp.Obj.Num != o.Obj.Num {
+		return lp.Obj.Num < o.Obj.Num
+	}
+	return lp.Off < o.Off
+}
+
+// SortedPages returns m's keys in LogicalPage.Less order, so callers
+// can sweep a pfdat map without leaking Go's random map order into
+// simulation state.
+func SortedPages(m map[LogicalPage]*Pfdat) []LogicalPage {
+	out := make([]LogicalPage, 0, len(m))
+	for lp := range m {
+		out = append(out, lp)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
 }
 
 // String formats the logical page id for diagnostics.
@@ -105,6 +133,17 @@ func (p *Pfdat) Exports() map[int]int {
 	for c, n := range p.exports {
 		out[c] = n
 	}
+	return out
+}
+
+// ExportClients returns the client cells importing this page, ascending
+// — the deterministic iteration order for auditing and recovery sweeps.
+func (p *Pfdat) ExportClients() []int {
+	out := make([]int, 0, len(p.exports))
+	for c := range p.exports {
+		out = append(out, c)
+	}
+	sort.Ints(out)
 	return out
 }
 

@@ -267,6 +267,7 @@ func (v *VM) FreeList() []machine.PageNum {
 // by any remote cell — the quantity sampled every 20 ms in the paper.
 func (v *VM) RemotelyWritablePages() int {
 	n := 0
+	//hive:lint-ignore maporder pure count; localFrame only reads the node table, no order escapes
 	for _, pf := range v.frames {
 		if !v.localFrame(pf.Frame) {
 			continue
@@ -281,6 +282,7 @@ func (v *VM) RemotelyWritablePages() int {
 // UserPages counts local frames currently bound to logical pages.
 func (v *VM) UserPages() int {
 	n := 0
+	//hive:lint-ignore maporder pure count; localFrame only reads the node table, no order escapes
 	for _, pf := range v.frames {
 		if pf.Valid && v.localFrame(pf.Frame) {
 			n++

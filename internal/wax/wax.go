@@ -153,7 +153,16 @@ func (w *Wax) applyPolicy(t *sim.Task) {
 		return
 	}
 	mean := total / n
-	sort.Slice(rows, func(i, j int) bool { return rows[i].free > rows[j].free })
+	// Order richest-first with the cell id breaking free-page ties:
+	// sort.Slice's order for equal keys is unspecified (and changed
+	// across Go releases), which would make the borrow targets — and
+	// everything downstream of the hints — vary run to run.
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].free != rows[j].free {
+			return rows[i].free > rows[j].free
+		}
+		return rows[i].cell < rows[j].cell
+	})
 
 	// Page allocator hint: cells under memory pressure should borrow
 	// from the cells with the most free memory.

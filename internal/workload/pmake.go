@@ -233,8 +233,15 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 				next++
 			}
 			// Wait for any job to finish (poll at make's granularity).
+			// Jobs are scanned in launch order, not map order: Get()
+			// touches the scheduler, so the poll sequence is part of
+			// the simulation's event order.
 			t.Sleep(5 * sim.Millisecond)
-			for job, pid := range pids {
+			for job := 0; job < next; job++ {
+				pid, ok := pids[job]
+				if !ok {
+					continue
+				}
 				tbl := h.Cells[cellOf[job]].Procs
 				if tbl == nil {
 					continue

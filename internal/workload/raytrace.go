@@ -111,7 +111,12 @@ func RunRaytrace(h *core.Hive, cfg RaytraceConfig, maxTime sim.Time) *Result {
 			if h.Cells[main].Failed() {
 				return
 			}
-			for w, pid := range pids {
+			// Poll in worker order, not map order (see pmake).
+			for w := 0; w < cfg.Workers; w++ {
+				pid, ok := pids[w]
+				if !ok {
+					continue
+				}
 				if _, alive := h.Cells[cellOf[w]].Procs.Get(pid); !alive {
 					delete(pids, w)
 				}
