@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check race bench bench-engine bench-report clean
+.PHONY: all build test lint check trace-check race bench bench-engine bench-report clean
 
 all: check
 
@@ -18,14 +18,25 @@ test:
 lint:
 	$(GO) run ./cmd/hivelint
 
-# check is the tier-1 gate: build, vet, hivelint, full test suite, and
-# the race detector over the packages that actually use OS-level
-# concurrency (the parallel trial runner) plus the engine it drives.
+# check is the tier-1 gate: build, vet, hivelint, full test suite, the
+# race detector over the packages that actually use OS-level concurrency
+# (the parallel trial runner) plus the engine it drives, and the
+# observability byte-identity gate.
 check: build
 	$(GO) vet ./...
 	$(GO) run ./cmd/hivelint
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/... ./internal/sim/...
+	$(MAKE) trace-check
+
+# trace-check is the observability gate: the Chrome trace export and the
+# histogram-backed campaign rows must be byte-identical across -j1/-j4
+# and across repeated same-seed runs, and the exporter's pairing rules
+# must hold. Runs the targeted determinism + export tests with -count=1
+# so a cached pass never masks a regression.
+trace-check:
+	$(GO) test -count=1 -run 'TestTraceAndMetricsDeterminism' ./internal/faultinject/
+	$(GO) test -count=1 -run 'TestExportChromePairsSpans|TestSetMergeTotalOrder|TestSpanPropagationAcrossCells' ./internal/trace/
 
 # race runs the concurrency-sensitive packages under the race detector,
 # including the cross-package determinism gates in internal/faultinject.
@@ -41,8 +52,10 @@ bench-engine:
 	$(GO) test -run xxx -bench 'BenchmarkEngine|BenchmarkEvent|BenchmarkPending|BenchmarkTask' -benchmem ./internal/sim/
 
 # bench-report writes the machine-readable experiment report.
+# BENCH_hive.json is committed as the tracked baseline; rerun this target
+# to refresh it after perf-relevant changes.
 bench-report:
 	$(GO) run ./cmd/hivebench -quick -json -o BENCH_hive.json
 
 clean:
-	rm -f BENCH_hive.json
+	@:

@@ -7,27 +7,47 @@
 //	faultdrill            # the full 69-trial campaign
 //	faultdrill -trials 3  # 3 trials per scenario
 //	faultdrill -j 8       # fan trials across 8 workers (same results at any -j)
+//	faultdrill -json -o drill.json       # machine-readable campaign report
 //	faultdrill -scenario 4 -trial 2 -v   # one specific trial, verbose
+//	faultdrill -scenario 2 -trial 0 -trace out.json  # Perfetto trace of one trial
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/parallel"
 )
 
+// campaignReport is the -json document, shaped like hivebench's report so
+// one tool chain can consume both.
+type campaignReport struct {
+	Name              string                     `json:"name"`
+	GoVersion         string                     `json:"go_version"`
+	GOMAXPROCS        int                        `json:"gomaxprocs"`
+	Jobs              int                        `json:"jobs"`
+	TrialsPerScenario int                        `json:"trials_per_scenario"` // 0 = the paper's counts
+	Scenarios         []*faultinject.CampaignRow `json:"scenarios"`
+	AllOK             bool                       `json:"all_ok"`
+	TotalWallMs       float64                    `json:"total_wall_ms"`
+}
+
 func main() {
 	var (
-		trials   = flag.Int("trials", 0, "trials per scenario (0 = the paper's counts)")
-		scenario = flag.Int("scenario", -1, "run only this scenario (0-4)")
-		trial    = flag.Int("trial", 0, "trial index for -scenario")
-		verbose  = flag.Bool("v", false, "per-trial detail")
-		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel trial workers (1 = sequential)")
+		trials    = flag.Int("trials", 0, "trials per scenario (0 = the paper's counts)")
+		scenario  = flag.Int("scenario", -1, "run only this scenario (0-4)")
+		trial     = flag.Int("trial", 0, "trial index for -scenario")
+		verbose   = flag.Bool("v", false, "per-trial detail")
+		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel trial workers (1 = sequential)")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable campaign report instead of the table")
+		outPath   = flag.String("o", "", "write the -json report to a file instead of stdout")
+		tracePath = flag.String("trace", "", "with -scenario: write the trial's Chrome trace-event JSON here")
 	)
 	flag.Parse()
 
@@ -35,7 +55,12 @@ func main() {
 
 	if *scenario >= 0 {
 		s := faultinject.Scenario(*scenario)
-		tr := faultinject.RunTrial(s, *trial)
+		opts := faultinject.TrialOpts{}
+		if *tracePath != "" {
+			opts.KeepTrace = true
+			opts.TraceCap = 1 << 16
+		}
+		tr := faultinject.RunTrialOpts(s, *trial, opts)
 		fmt.Printf("%s trial %d:\n", s, *trial)
 		fmt.Printf("  injected at %v into cell %d\n", tr.InjectedAt, tr.TargetCell)
 		fmt.Printf("  detected=%v (%.1f ms to last cell in recovery)\n", tr.Detected, tr.DetectMs)
@@ -44,6 +69,13 @@ func main() {
 			tr.Contained, tr.IntegrityOK, tr.CorrectRunOK)
 		if tr.Notes != "" {
 			fmt.Printf("  notes: %s\n", tr.Notes)
+		}
+		if *tracePath != "" {
+			if err := os.WriteFile(*tracePath, tr.TraceJSON, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "faultdrill: write trace:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  trace written to %s (load in ui.perfetto.dev)\n", *tracePath)
 		}
 		if !tr.OK() {
 			os.Exit(1)
@@ -58,6 +90,7 @@ func main() {
 		faultinject.CorruptAddrMap,
 		faultinject.CorruptCOWTree,
 	}
+	start := time.Now()
 	var rows []*harness.Table74Row
 	allOK := true
 	for _, s := range scenarios {
@@ -70,14 +103,48 @@ func main() {
 		if !row.AllOK {
 			allOK = false
 			for _, f := range row.Failures {
-				fmt.Printf("FAILURE %s: %s\n", s, f)
+				fmt.Fprintf(os.Stderr, "FAILURE %s: %s\n", s, f)
 			}
 		}
-		if *verbose {
-			fmt.Printf("%s: %d tests, contained=%v, detect avg %.1f / max %.1f ms\n",
-				s, row.Tests, row.AllOK, row.AvgDetect, row.MaxDetect)
+		if *verbose && !*jsonOut {
+			fmt.Printf("%s: %d tests, contained=%v, detect avg %.1f / p99 %.1f / max %.1f ms\n",
+				s, row.Tests, row.AllOK, row.AvgDetect, row.P99Detect, row.MaxDetect)
 		}
 	}
+
+	if *jsonOut {
+		report := &campaignReport{
+			Name:              "faultdrill",
+			GoVersion:         runtime.Version(),
+			GOMAXPROCS:        runtime.GOMAXPROCS(0),
+			Jobs:              parallel.Default().Workers(),
+			TrialsPerScenario: *trials,
+			Scenarios:         rows,
+			AllOK:             allOK,
+			TotalWallMs:       float64(time.Since(start).Microseconds()) / 1000,
+		}
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultdrill: marshal report:", err)
+			os.Exit(1)
+		}
+		enc = append(enc, '\n')
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "faultdrill: write report:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d scenarios, %.0f ms total)\n",
+				*outPath, len(report.Scenarios), report.TotalWallMs)
+		} else {
+			os.Stdout.Write(enc)
+		}
+		if !allOK {
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Println(harness.FormatTable74(rows))
 	if allOK {
 		fmt.Println("The effects of the fault were contained to the injected cell in every test.")

@@ -7,6 +7,7 @@
 //	hivesim -workload ocean -irix
 //	hivesim -workload raytrace -cells 2 -seed 7
 //	hivesim -workload pmake -cells 4 -fail 1 -failat 2s
+//	hivesim -cells 4 -fail 2 -trace out.json   # Chrome/Perfetto trace
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		fail   = flag.Int("fail", -1, "inject a fail-stop fault into this cell")
 		failAt = flag.Duration("failat", 2*time.Second, "virtual time of the fault")
 		stats  = flag.Bool("stats", false, "dump per-cell kernel counters")
+		trace  = flag.String("trace", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,12 @@ func main() {
 		h = hive.BootIRIX()
 		name = "IRIX"
 	} else {
-		h = workload.BootHiveSeeded(*cells, *seed)
+		h = workload.BootHiveWith(*cells, *seed, func(cfg *core.Config) {
+			if *trace != "" {
+				// Wide rings so a full workload's spans survive to export.
+				cfg.TraceCap = 1 << 16
+			}
+		})
 	}
 
 	if *fail >= 0 {
@@ -93,5 +100,18 @@ func main() {
 			fmt.Print(c.EP.Metrics.Snapshot())
 			fmt.Print(c.FS.Metrics.Snapshot())
 		}
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hivesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := h.Trace.ExportChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hivesim: export trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("  trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *trace)
 	}
 }

@@ -1,36 +1,48 @@
-// Command hivetop runs a workload and prints periodic system snapshots —
-// per-cell processes, memory pools, sharing state, and RPC traffic — plus
-// the forensic event trace when a fault is injected. It is the operator's
-// view of a running Hive.
+// Command hivetop runs a workload and prints a virtual-time dashboard —
+// per-cell snapshots of processes, memory pools, sharing state, and RPC
+// traffic; the detection→alert→barrier1→barrier2→resume recovery timeline
+// when a fault is injected; and the top latency histograms per cell. It is
+// the operator's view of a running Hive.
 //
 // Usage:
 //
 //	hivetop                        # pmake on 4 cells, snapshot every 1s
 //	hivetop -interval 500ms -fail 2 -failat 3s
+//	hivetop -fail 2 -hist 3 -tail 20 -trace top.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		cells    = flag.Int("cells", 4, "number of cells")
-		interval = flag.Duration("interval", time.Second, "virtual snapshot period")
-		fail     = flag.Int("fail", -1, "inject a fail-stop fault into this cell")
-		failAt   = flag.Duration("failat", 3*time.Second, "virtual fault time")
-		seed     = flag.Int64("seed", 1995, "simulation seed")
+		cells     = flag.Int("cells", 4, "number of cells")
+		interval  = flag.Duration("interval", time.Second, "virtual snapshot period")
+		fail      = flag.Int("fail", -1, "inject a fail-stop fault into this cell")
+		failAt    = flag.Duration("failat", 3*time.Second, "virtual fault time")
+		seed      = flag.Int64("seed", 1995, "simulation seed")
+		histRows  = flag.Int("hist", 3, "bucket rows per latency histogram (0 = none)")
+		tailN     = flag.Int("tail", 12, "forensic trace tail length (0 = none)")
+		tracePath = flag.String("trace", "", "also write the Chrome trace-event JSON file")
 	)
 	flag.Parse()
 
-	h := workload.BootHiveSeeded(*cells, *seed)
+	h := workload.BootHiveWith(*cells, *seed, func(cfg *core.Config) {
+		if *tracePath != "" {
+			cfg.TraceCap = 1 << 16
+		}
+	})
 	if *fail >= 0 && *fail < len(h.Cells) {
 		h.Eng.At(sim.Time(failAt.Nanoseconds()), func() {
 			h.Cells[*fail].FailHardware()
@@ -51,8 +63,29 @@ func main() {
 		res.Name, res.Done, res.Elapsed.Seconds())
 
 	if *fail >= 0 {
-		fmt.Println("\nforensic event trace:")
-		fmt.Print(h.Trace.Dump())
+		printRecoveryTimeline(h)
+	}
+	if *histRows > 0 {
+		printHistograms(h, *histRows)
+	}
+	if *tailN > 0 {
+		fmt.Printf("\nforensic event trace (last %d events):\n", *tailN)
+		for _, e := range h.Trace.Tail(*tailN) {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hivetop: %v\n", err)
+			os.Exit(1)
+		}
+		if err := h.Trace.ExportChrome(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hivetop: export trace: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\ntrace written to %s (load in ui.perfetto.dev)\n", *tracePath)
 	}
 }
 
@@ -76,4 +109,73 @@ func printSnapshot(h *core.Hive) {
 		)
 	}
 	fmt.Println(tb)
+}
+
+// printRecoveryTimeline reconstructs the detection→alert→barrier1→barrier2
+// →resume sequence from the structured trace, per cell, in virtual time.
+func printRecoveryTimeline(h *core.Hive) {
+	type phase struct {
+		cell  int
+		name  string
+		begin sim.Time
+		end   sim.Time
+		open  bool
+	}
+	var phases []phase
+	openIdx := map[string]int{} // "cell:name" -> phases index
+	fmt.Println("\nrecovery timeline (virtual time):")
+	for _, e := range h.Trace.Merged() {
+		switch e.Kind {
+		case trace.Hint, trace.Alert, trace.Panic:
+			fmt.Printf("  %10.3f ms  cell %d  %s\n", e.At.Millis(), e.Cell, e.Detail())
+		case trace.Vote:
+			fmt.Printf("  %10.3f ms  cell %d  %s\n", e.At.Millis(), e.Cell, e.Detail())
+		case trace.PhaseBegin:
+			if strings.HasPrefix(e.S, "recovery:") {
+				key := fmt.Sprintf("%d:%s", e.Cell, e.S)
+				openIdx[key] = len(phases)
+				phases = append(phases, phase{cell: e.Cell, name: e.S, begin: e.At, open: true})
+			}
+		case trace.PhaseEnd:
+			if strings.HasPrefix(e.S, "recovery:") {
+				key := fmt.Sprintf("%d:%s", e.Cell, e.S)
+				if i, ok := openIdx[key]; ok && phases[i].open {
+					phases[i].end = e.At
+					phases[i].open = false
+					fmt.Printf("  %10.3f ms  cell %d  %-18s %8.3f ms\n",
+						phases[i].begin.Millis(), e.Cell, e.S,
+						(e.At - phases[i].begin).Millis())
+				}
+			}
+		}
+	}
+	for _, p := range phases {
+		if p.open {
+			fmt.Printf("  %10.3f ms  cell %d  %-18s (unfinished)\n",
+				p.begin.Millis(), p.cell, p.name)
+		}
+	}
+	if len(phases) == 0 {
+		fmt.Println("  (no recovery phases recorded)")
+	}
+}
+
+// printHistograms shows each cell's top latency distributions.
+func printHistograms(h *core.Hive, rows int) {
+	fmt.Println("\nlatency histograms (µs):")
+	for _, c := range h.Cells {
+		for _, src := range []struct {
+			reg  *stats.Registry
+			name string
+		}{
+			{c.EP.Metrics, "rpc.call_us"},
+			{c.VM.Metrics, "vm.fault_us"},
+		} {
+			hist := src.reg.Hist(src.name)
+			if hist.N() == 0 {
+				continue
+			}
+			fmt.Printf("cell %d %s:\n%s", c.ID, src.name, hist.Snapshot().Format(rows))
+		}
+	}
 }

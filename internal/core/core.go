@@ -49,6 +49,9 @@ type Config struct {
 	// (0 = membership.DefaultCheckEvery). The §4.3 frequency/
 	// vulnerability tradeoff knob.
 	ClockCheckEvery int
+	// TraceCap sizes each cell's per-ring trace capacity in events
+	// (0 = 4096). Raise it when exporting full Chrome traces of long runs.
+	TraceCap int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -75,10 +78,12 @@ type Hive struct {
 	Coord *membership.Coordinator
 	Cells []*Cell
 
-	// Trace is the machine-wide forensic event buffer (hints, alerts,
-	// recovery transitions, panics) — the post-fault analysis aid §7.4
-	// credits deterministic simulation with enabling.
-	Trace *trace.Ring
+	// Trace is the machine-wide forensic event recorder (hints, alerts,
+	// votes, recovery phases, RPC and fault spans, panics) — the
+	// post-fault analysis aid §7.4 credits deterministic simulation with
+	// enabling. One pair of ring buffers per cell; Merged() restores the
+	// global total order, ExportChrome renders it for Perfetto.
+	Trace *trace.Set
 
 	// CellOfNode maps node -> owning cell.
 	CellOfNode []int
@@ -99,6 +104,7 @@ type Cell struct {
 	Mon       *membership.Monitor
 	Reader    *careful.Reader
 	ClockHand *vm.ClockHand
+	Tracer    *trace.Tracer
 
 	failed  bool // fail-stop or forced stop
 	corrupt bool // software-corrupted (fault injection ground truth)
@@ -126,13 +132,19 @@ func Boot(cfg Config) *Hive {
 		Space: kmem.NewSpace(cfg.Cells),
 		Coord: membership.NewCoordinator(cfg.Cells, nodePartition(cfg.Machine.Nodes, cfg.Cells), cfg.Agreement),
 	}
-	h.Trace = trace.NewRing(4096)
+	h.Trace = trace.NewSet(cfg.Cells, cfg.TraceCap)
 	h.Coord.AutoReintegrate = cfg.AutoReintegrate
 	h.Coord.BrokenHardware = map[int]bool{}
 	h.CellOfNode = make([]int, cfg.Machine.Nodes)
 	nodesPerCell := cfg.Machine.Nodes / cfg.Cells
 	for n := range h.CellOfNode {
 		h.CellOfNode[n] = n / nodesPerCell
+	}
+	// Hardware events (firewall updates, SIPS sends) record on the track
+	// of the cell owning the issuing node.
+	m.Trace = make([]*trace.Tracer, cfg.Machine.Nodes)
+	for n := range m.Trace {
+		m.Trace[n] = h.Trace.Tracer(h.CellOfNode[n])
 	}
 
 	for c := 0; c < cfg.Cells; c++ {
@@ -185,7 +197,7 @@ func (h *Hive) bootCell(id int) *Cell {
 		nodes = append(nodes, n)
 		procs = append(procs, h.M.Nodes[n].Procs...)
 	}
-	c := &Cell{ID: id, Hive: h, Nodes: nodes, Metrics: stats.NewRegistry()}
+	c := &Cell{ID: id, Hive: h, Nodes: nodes, Metrics: stats.NewRegistry(), Tracer: h.Trace.Tracer(id)}
 
 	// Kernel memory arena with fault-model access semantics.
 	arena := h.Space.Arena(id)
@@ -210,7 +222,9 @@ func (h *Hive) bootCell(id int) *Cell {
 	}
 
 	c.EP = rpc.NewEndpoint(h.M, id, procs, h.Cfg.RPCServerPool)
+	c.EP.Tracer = c.Tracer
 	c.VM = vm.New(h.M, c.EP, id, nodes, h.CellOfNode, h.Cfg.KernelPagesPerNode)
+	c.VM.Tracer = c.Tracer
 	c.FS = fs.New(h.M, c.EP, c.VM, id, h.Cfg.Mounts, h.M.Nodes[nodes[0]].Disk)
 	c.Sched = sched.New(id, procs)
 	c.Reader = &careful.Reader{M: h.M, Space: h.Space}
@@ -218,6 +232,7 @@ func (h *Hive) bootCell(id int) *Cell {
 	c.Procs = proc.NewTable(id, h.Cfg.Cells, c.EP, c.Sched, c.FS, c.COW, c.VM)
 	c.Mon = membership.NewMonitor(h.M, c.EP, h.Coord, id, nodes)
 	c.Mon.CheckEvery = h.Cfg.ClockCheckEvery
+	c.Mon.Tracer = c.Tracer
 
 	// A cell that finds its own kernel data corrupt panics (§4.1).
 	c.COW.OnLocalDamage = func(reason string) {
@@ -235,14 +250,10 @@ func (h *Hive) bootCell(id int) *Cell {
 		return c.FS.WritebackPage(t, lp)
 	})
 
-	// Wire failure hints from every detector into the monitor, recording
-	// each in the forensic trace.
-	hint := func(suspect int, reason string) {
-		h.Trace.Record(h.Eng.Now(), id, trace.Hint, "suspect cell %d: %s", suspect, reason)
-		c.Mon.Hint(suspect, reason)
-	}
-	c.EP.HintSink = hint
-	c.Reader.HintSink = hint
+	// Wire failure hints from every detector into the monitor, which
+	// records them in the forensic trace (post-dedup).
+	c.EP.HintSink = c.Mon.Hint
+	c.Reader.HintSink = c.Mon.Hint
 
 	// Clock monitoring reads the neighbour's clock word under the
 	// careful reference protocol (§4.3).
@@ -259,15 +270,11 @@ func (h *Hive) bootCell(id int) *Cell {
 	c.Mon.Hooks = membership.Hooks{
 		SuspendUser: c.Sched.Freeze,
 		ResumeUser:  c.Sched.Thaw,
-		Phase1: func(t *sim.Task) {
-			h.Trace.Record(h.Eng.Now(), id, trace.Recovery, "phase 1 (TLB flush, unmap)")
-			c.VM.RecoveryPhase1(t)
-		},
+		Phase1: c.VM.RecoveryPhase1,
 		Phase2: func(t *sim.Task, failed map[int]bool) int {
 			n := c.VM.RecoveryPhase2(t, failed)
-			h.Trace.Record(h.Eng.Now(), id, trace.Recovery, "phase 2: %d pages discarded", n)
 			if n > 0 {
-				h.Trace.Record(h.Eng.Now(), id, trace.Discard, "%d pages writable by failed cells", n)
+				c.Tracer.Emit(h.Eng.Now(), trace.Discard, int64(n), 0, "pages writable by failed cells")
 			}
 			return n
 		},
@@ -275,7 +282,7 @@ func (h *Hive) bootCell(id int) *Cell {
 		KillDependents: func(failed map[int]bool) int {
 			n := c.Procs.KillDependents(failed)
 			if n > 0 {
-				h.Trace.Record(h.Eng.Now(), id, trace.Kill, "%d dependent processes killed", n)
+				c.Tracer.Emit(h.Eng.Now(), trace.Kill, int64(n), 0, "dependent processes killed")
 			}
 			return n
 		},
@@ -324,7 +331,7 @@ func (c *Cell) MarkCorrupt() { c.corrupt = true }
 // injection). Survivor detection happens through the normal hint channels.
 func (c *Cell) FailHardware() {
 	c.failed = true
-	c.Hive.Trace.Record(c.Hive.Eng.Now(), c.ID, trace.Panic, "fail-stop hardware fault injected")
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.Panic, 0, 0, "fail-stop hardware fault injected")
 	for _, n := range c.Nodes {
 		c.Hive.M.Nodes[n].FailStop()
 	}
@@ -343,7 +350,7 @@ func (c *Cell) Panic(reason string) {
 		return
 	}
 	c.failed = true
-	c.Hive.Trace.Record(c.Hive.Eng.Now(), c.ID, trace.Panic, "%s", reason)
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.Panic, 0, 0, reason)
 	c.Metrics.Counter("cell.panics").Inc()
 	for _, n := range c.Nodes {
 		c.Hive.M.Nodes[n].EngageCutoff()
@@ -442,12 +449,14 @@ func (c *Cell) ApplyAllocTargets(targets []int) error {
 	for _, tc := range targets {
 		if tc < 0 || tc >= len(c.Hive.Cells) || tc == c.ID || seen[tc] || c.Hive.Cells[tc].Failed() {
 			c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+			c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(tc), 0, "alloc-targets")
 			return fmt.Errorf("core: hint rejected: bad target %d", tc)
 		}
 		seen[tc] = true
 	}
 	c.VM.AllocTargets = append([]int(nil), targets...)
 	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(len(targets)), 1, "alloc-targets")
 	return nil
 }
 
@@ -458,9 +467,11 @@ func (c *Cell) ApplyClockHand(t *sim.Task, pressuredHome int) bool {
 	if pressuredHome < 0 || pressuredHome >= len(c.Hive.Cells) ||
 		pressuredHome == c.ID || c.Hive.Cells[pressuredHome].Failed() {
 		c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+		c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(pressuredHome), 0, "clock-hand")
 		return false
 	}
 	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(pressuredHome), 1, "clock-hand")
 	return c.VM.ReturnUnusedBorrows(t, pressuredHome) > 0
 }
 
@@ -468,8 +479,10 @@ func (c *Cell) ApplyClockHand(t *sim.Task, pressuredHome int) bool {
 func (c *Cell) ApplyGang(n int) bool {
 	if n < 0 || n >= len(c.Sched.Procs) {
 		c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+		c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(n), 0, "gang")
 		return false
 	}
 	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.WaxHint, int64(n), 1, "gang")
 	return c.Sched.Reserve(n)
 }

@@ -8,6 +8,7 @@
 package faultinject
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/proc"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -92,6 +94,7 @@ type TrialResult struct {
 	CorrectRunOK bool   // post-fault pmake correctness check passed
 	StateOK      bool   // cross-cell kernel invariants hold after recovery
 	TraceHash    uint64 // FNV-1a over the engine's dispatch trace (TrialOpts.TraceHash)
+	TraceJSON    []byte // Chrome trace-event export (TrialOpts.KeepTrace)
 	Notes        string
 }
 
@@ -118,6 +121,11 @@ type TrialOpts struct {
 	// a strict event-order witness for determinism regression tests. Off
 	// by default: the trace hook costs an allocation per dispatch.
 	TraceHash bool
+	// KeepTrace exports the hive's structured trace as Chrome trace-event
+	// JSON into TrialResult.TraceJSON when the trial ends.
+	KeepTrace bool
+	// TraceCap overrides the per-cell trace ring capacity (0 = default).
+	TraceCap int
 }
 
 // RunTrial executes one injection trial from a fresh boot.
@@ -130,7 +138,11 @@ func RunTrial(s Scenario, trial int) *TrialResult {
 // concurrent trials on a parallel.Runner give bit-identical results.
 func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	seed := int64(10007*trial + int(s)*211 + 7)
-	h := workload.BootHiveSeeded(4, seed)
+	h := workload.BootHiveWith(4, seed, func(cfg *core.Config) {
+		if opts.TraceCap > 0 {
+			cfg.TraceCap = opts.TraceCap
+		}
+	})
 	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%2}
 	if opts.TraceHash {
 		th := fnv.New64a()
@@ -138,6 +150,14 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			fmt.Fprintf(th, "%d:%s\n", at, what)
 		}
 		defer func() { res.TraceHash = th.Sum64() }()
+	}
+	if opts.KeepTrace {
+		defer func() {
+			var buf bytes.Buffer
+			if err := h.Trace.ExportChrome(&buf); err == nil {
+				res.TraceJSON = buf.Bytes()
+			}
+		}()
 	}
 	// Target cells 1 or 2: neither hosts /usr (cell 0) nor /tmp (cell 3),
 	// so the correctness check has its file servers after the fault —
@@ -385,15 +405,27 @@ func rootOf(h *core.Hive, p *proc.Process) kmem.Addr {
 	return kmem.Addr(parent)
 }
 
-// CampaignRow aggregates one scenario's trials (a Table 7.4 row).
+// CampaignRow aggregates one scenario's trials (a Table 7.4 row). The
+// latency columns come from log-bucketed histograms over the detected
+// trials; the Avg/Max fields keep the paper table's summary statistics and
+// the percentiles expose the tails Table 7.4 could not show.
 type CampaignRow struct {
 	Scenario  Scenario
+	Name      string
 	Tests     int
 	AllOK     bool
 	AvgDetect float64
 	MaxDetect float64
+	P50Detect float64
+	P99Detect float64
 	AvgRecov  float64
+	P50Recov  float64
+	P99Recov  float64
 	Failures  []string
+
+	// Detect and Recov are the full latency distributions (ms).
+	Detect *stats.HistSnapshot `json:",omitempty"`
+	Recov  *stats.HistSnapshot `json:",omitempty"`
 }
 
 // RunScenario runs `tests` trials of a scenario and aggregates. Trials fan
@@ -414,10 +446,11 @@ func RunScenarioWith(r *parallel.Runner, s Scenario, tests int) *CampaignRow {
 }
 
 // Aggregate folds a scenario's ordered trial results into a Table 7.4 row.
+// Detection and recovery latencies go through log-bucketed histograms so
+// the row carries means, maxima, and tail percentiles from one accumulator.
 func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
-	row := &CampaignRow{Scenario: s, Tests: len(trials), AllOK: true}
-	var sumD, sumR float64
-	n := 0
+	row := &CampaignRow{Scenario: s, Name: s.String(), Tests: len(trials), AllOK: true}
+	var hd, hr stats.Histogram
 	for i, tr := range trials {
 		if !tr.OK() {
 			row.AllOK = false
@@ -426,17 +459,20 @@ func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 					i, tr.Detected, tr.Contained, tr.IntegrityOK, tr.CorrectRunOK, tr.Notes))
 		}
 		if tr.Detected {
-			sumD += tr.DetectMs
-			sumR += tr.RecoveryMs
-			if tr.DetectMs > row.MaxDetect {
-				row.MaxDetect = tr.DetectMs
-			}
-			n++
+			hd.Observe(tr.DetectMs)
+			hr.Observe(tr.RecoveryMs)
 		}
 	}
-	if n > 0 {
-		row.AvgDetect = sumD / float64(n)
-		row.AvgRecov = sumR / float64(n)
+	if hd.N() > 0 {
+		row.AvgDetect = hd.Mean()
+		row.MaxDetect = hd.Max()
+		row.P50Detect = hd.Quantile(0.50)
+		row.P99Detect = hd.Quantile(0.99)
+		row.AvgRecov = hr.Mean()
+		row.P50Recov = hr.Quantile(0.50)
+		row.P99Recov = hr.Quantile(0.99)
+		ds, rs := hd.Snapshot(), hr.Snapshot()
+		row.Detect, row.Recov = &ds, &rs
 	}
 	return row
 }

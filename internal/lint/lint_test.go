@@ -157,6 +157,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"rawconc", "repro/internal/rawconc", true, rawconcAnalyzer},
 		{"stablesort", "repro/internal/stablesort", true, stablesortAnalyzer},
 		{"layering", "repro/internal/machine", false, layeringAnalyzer},
+		{"layering_trace", "repro/internal/trace", false, layeringAnalyzer},
 		{"layering_unknown", "repro/internal/mystery", false, layeringAnalyzer},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,18 @@
+// Fixture pinning internal/trace's place in the DESIGN.md §2 DAG: a
+// rank-1 substrate next to stats, importable by machine, rpc, vm,
+// membership, and core — and forbidden from importing any of them. The
+// tests load this directory under the fake import path
+// repro/internal/trace. (Parsed but never type-checked, so the imports
+// need not resolve.)
+package trace
+
+import (
+	_ "repro/internal/core"       // want `layering inversion: trace \(substrate, rank 1\) must not import core \(core, rank 7\)`
+	_ "repro/internal/machine"    // want `layering inversion: trace \(substrate, rank 1\) must not import machine \(substrate, rank 2\)`
+	_ "repro/internal/membership" // want `layering inversion: trace \(substrate, rank 1\) must not import membership \(core, rank 4\)`
+	_ "repro/internal/rpc"        // want `layering inversion: trace \(substrate, rank 1\) must not import rpc \(substrate, rank 3\)`
+	_ "repro/internal/sim"        // below us: legal (trace events carry sim.Time)
+	_ "repro/internal/vm"         // want `layering inversion: trace \(substrate, rank 1\) must not import vm \(core, rank 4\)`
+
+	_ "encoding/json" // stdlib is always legal
+)

@@ -18,6 +18,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Errors making up the FLASH memory fault model. Accesses never stall
@@ -119,7 +120,21 @@ type Machine struct {
 	// Metrics observed by the firewall-overhead experiment.
 	Metrics *stats.Registry
 
+	// Trace, when set by the cell layer, holds one recording handle per
+	// node so hardware events (firewall updates, SIPS sends) land on the
+	// owning cell's trace track. Entries and the slice itself may be nil
+	// (standalone machine tests record nothing).
+	Trace []*trace.Tracer
+
 	pages []pageState // indexed by PageNum
+}
+
+// tracer returns node n's recording handle; the nil tracer no-ops.
+func (m *Machine) tracer(n int) *trace.Tracer {
+	if n < 0 || n >= len(m.Trace) {
+		return nil
+	}
+	return m.Trace[n]
 }
 
 // pageState is the physical state of one page frame: its firewall vector and

@@ -1,6 +1,9 @@
 package machine
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // Memory operations. Each charges virtual time on the issuing processor and
 // enforces the memory fault model: accesses to failed or cut-off nodes get
@@ -164,8 +167,10 @@ func (m *Machine) SetFirewall(t *sim.Task, proc *Processor, p PageNum, bits uint
 	if old := m.pages[p].fw; old&^bits != 0 {
 		cost += m.Cfg.UncachedNs // revocation: wait for pending writebacks
 		m.Metrics.Counter("firewall.revocations").Inc()
+		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
 	} else {
 		m.Metrics.Counter("firewall.grants").Inc()
+		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
 	}
 	proc.Use(t, cost)
 	m.pages[p].fw = bits
@@ -184,8 +189,10 @@ func (m *Machine) SetFirewallIntr(proc *Processor, p PageNum, bits uint64) (sim.
 	if old := m.pages[p].fw; old&^bits != 0 {
 		cost += m.Cfg.UncachedNs
 		m.Metrics.Counter("firewall.revocations").Inc()
+		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
 	} else {
 		m.Metrics.Counter("firewall.grants").Inc()
+		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
 	}
 	m.pages[p].fw = bits
 	return cost, nil

@@ -1,6 +1,9 @@
 package machine
 
-import "repro/internal/sim"
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
 
 // SIPS — the short interprocessor send facility (§6). Each send delivers one
 // 128-byte cache line of data in about the latency of a remote cache miss,
@@ -68,6 +71,7 @@ func (m *Machine) SendSIPS(t *sim.Task, proc *Processor, msg *SIPSMsg) error {
 		return err
 	}
 	m.Metrics.Counter("sips.sends").Inc()
+	m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
 
 	// Delivery: IPI latency, then the node's receive handler runs in
 	// interrupt context, paying the payload access latency.
@@ -103,6 +107,7 @@ func (m *Machine) SendSIPSAsync(proc *Processor, msg *SIPSMsg) error {
 		return err
 	}
 	m.Metrics.Counter("sips.sends").Inc()
+	m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
 	m.Eng.After(m.wireLatency(), func() {
 		if dstNode.failed || dstProc.Halted() {
 			return

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Coordinator is the shared substrate of the agreement protocol: the live
@@ -197,6 +198,11 @@ func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
 			// last vote tallies.
 			if _, voted := r.votes[mon.CellID]; !voted {
 				r.votes[mon.CellID] = !mon.probe(t, r.suspect)
+				dead := int64(0)
+				if r.votes[mon.CellID] {
+					dead = 1
+				}
+				mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "")
 				if len(r.votes) == len(r.members) {
 					deadVotes := 0
 					for _, d := range r.votes {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // AgreementMode selects how alerts are confirmed.
@@ -104,6 +105,10 @@ type Monitor struct {
 
 	// CheckEvery overrides DefaultCheckEvery when positive.
 	CheckEvery int
+
+	// Tracer records this cell's detection and recovery events (nil
+	// no-ops; set by the cell layer).
+	Tracer *trace.Tracer
 
 	alerts    *sim.Queue
 	lastClock map[int]uint64
@@ -188,6 +193,7 @@ func (mon *Monitor) clockLoop(t *sim.Task) {
 			mon.Hint(nb, "clock read bus error")
 			continue
 		}
+		mon.Tracer.Emit(t.Now(), trace.Heartbeat, int64(nb), int64(val), "")
 		if last, ok := mon.lastClock[nb]; ok && val == last {
 			mon.Hint(nb, "clock word failed to increment")
 		}
@@ -215,18 +221,24 @@ func (mon *Monitor) Hint(suspect int, reason string) {
 	mon.alerting[suspect] = true
 	mon.seq++
 	mon.Metrics.Counter("membership.hints").Inc()
+	mon.Tracer.Emit(mon.M.Eng.Now(), trace.Hint, int64(suspect), 0, reason)
 	msg := &alertMsg{Suspect: suspect, Accuser: mon.CellID, Reason: reason, Sequence: mon.seq}
 	// Deliver locally, then broadcast. The broadcast runs as its own
 	// task since Hint may be called from interrupt/engine context.
 	mon.alerts.Push(msg)
 	mon.M.Eng.Go(fmt.Sprintf("cell%d.alertcast", mon.CellID), func(t *sim.Task) {
+		span := mon.Tracer.Begin(t.Now(), "recovery:alert")
+		mon.Tracer.Emit(t.Now(), trace.Alert, int64(suspect), 0, reason)
+		sent := int64(0)
 		for _, c := range mon.Coord.liveSet() {
 			if c == mon.CellID || c == suspect {
 				continue
 			}
 			mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
 				rpc.CallOpts{DataBytes: 64, NoHint: true})
+			sent++
 		}
+		mon.Tracer.End(t.Now(), span, "recovery:alert", sent)
 	})
 }
 
@@ -264,7 +276,9 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	mon.Metrics.Counter("membership.rounds").Inc()
 
 	// Agreement: oracle or probe-and-vote.
+	detectSpan := mon.Tracer.Begin(t.Now(), "recovery:detect")
 	verdict := mon.Coord.agree(t, mon, r)
+	mon.Tracer.End(t.Now(), detectSpan, "recovery:detect", int64(len(verdict)))
 
 	if mon.dead {
 		return
@@ -297,23 +311,29 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	mon.Metrics.Counter("membership.recoveries").Inc()
 
 	proc := mon.proc()
+	b1Span := mon.Tracer.Begin(t.Now(), "recovery:barrier1")
 	proc.Use(t, Phase1Base)
 	if mon.Hooks.Phase1 != nil {
 		mon.Hooks.Phase1(t)
 	}
 	r.b1Seen[mon.CellID] = true
 	r.barrier1.Await(t)
+	mon.Tracer.End(t.Now(), b1Span, "recovery:barrier1", 0)
 
+	b2Span := mon.Tracer.Begin(t.Now(), "recovery:barrier2")
 	proc.Use(t, Phase2Base)
+	var discarded, killed int64
 	if mon.Hooks.Phase2 != nil {
-		mon.Hooks.Phase2(t, verdict)
+		discarded = int64(mon.Hooks.Phase2(t, verdict))
 	}
 	if mon.Hooks.KillDependents != nil {
-		mon.Hooks.KillDependents(verdict)
+		killed = int64(mon.Hooks.KillDependents(verdict))
 	}
 	r.b2Seen[mon.CellID] = true
 	r.barrier2.Await(t)
+	mon.Tracer.End(t.Now(), b2Span, "recovery:barrier2", discarded+killed)
 
+	resumeSpan := mon.Tracer.Begin(t.Now(), "recovery:resume")
 	if mon.Hooks.Finish != nil {
 		mon.Hooks.Finish()
 	}
@@ -321,6 +341,7 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 		mon.Hooks.ResumeUser()
 	}
 	mon.Coord.noteRecoveryDone(r, mon.CellID, mon.M.Eng.Now())
+	mon.Tracer.End(t.Now(), resumeSpan, "recovery:resume", 0)
 
 	// The recovery master (lowest live cell) runs hardware diagnostics
 	// on the failed nodes and, when enabled, reboots and reintegrates

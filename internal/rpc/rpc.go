@@ -27,6 +27,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Component costs (ns), calibrated to §6 and Table 5.2. The null RPC totals
@@ -84,6 +85,10 @@ type Request struct {
 	Proc      ProcID
 	Args      any
 	DataBytes int // payload size; >128 engages copy/alloc costs
+	// Span is the causal trace span allocated by the client; the server
+	// side records its recv/reply events under the same id, so the merged
+	// trace links both halves of the call across cells.
+	Span trace.SpanID
 
 	future *sim.Future
 	bd     *stats.Breakdown // optional component recorder (Table 5.2)
@@ -125,6 +130,9 @@ type Endpoint struct {
 	Timeout sim.Time
 	// Metrics records per-endpoint counters.
 	Metrics *stats.Registry
+	// Tracer records this cell's RPC events (nil no-ops; set by the cell
+	// layer).
+	Tracer *trace.Tracer
 
 	services map[ProcID]*service
 	pending  map[uint64]*Request
@@ -133,6 +141,7 @@ type Endpoint struct {
 	rrProc   int
 	poolSize int
 	dead     bool
+	histCall *stats.Histogram // end-to-end successful call latency (µs)
 }
 
 // NewEndpoint creates the endpoint for cell cellID using the given
@@ -150,6 +159,7 @@ func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poo
 		queue:    &sim.Queue{},
 		poolSize: poolSize,
 	}
+	ep.histCall = ep.Metrics.Hist("rpc.call_us")
 	seen := map[int]bool{}
 	for _, p := range procs {
 		if !seen[p.Node.ID] {
@@ -246,6 +256,9 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 		Args: args, DataBytes: opts.DataBytes,
 		future: &sim.Future{}, bd: bd,
 	}
+	callStart := t.Now()
+	req.Span = ep.Tracer.NextSpan()
+	ep.Tracer.EmitSpan(callStart, trace.RPCSend, req.Span, int64(to), int64(procID), "")
 
 	// Client stub: marshal args into the SIPS line.
 	stub := ClientSendStub
@@ -271,6 +284,7 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	sendStart := t.Now()
 	if err := ep.M.SendSIPS(t, proc, msg); err != nil {
 		ep.Metrics.Counter("rpc.send_failures").Inc()
+		ep.Tracer.EmitSpan(t.Now(), trace.RPCTimeout, req.Span, int64(to), int64(procID), "")
 		if !opts.NoHint && ep.HintSink != nil {
 			ep.HintSink(to, "rpc send bus error")
 		}
@@ -303,6 +317,7 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	}
 	if !ok2 {
 		ep.Metrics.Counter("rpc.timeouts").Inc()
+		ep.Tracer.EmitSpan(t.Now(), trace.RPCTimeout, req.Span, int64(to), int64(procID), "")
 		if !opts.NoHint && ep.HintSink != nil {
 			ep.HintSink(to, "rpc timeout")
 		}
@@ -317,6 +332,8 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	}
 	proc.Use(t, stub)
 	record(bd, "client stub (receive)", stub)
+	ep.Tracer.EmitSpan(t.Now(), trace.RPCReply, req.Span, int64(to), int64(procID), "")
+	ep.histCall.ObserveTime(t.Now() - callStart)
 	if rep.err != "" {
 		return rep.result, errors.New(rep.err)
 	}
@@ -345,6 +362,7 @@ func (ep *Endpoint) handleRequest(msg *machine.SIPSMsg) {
 	req := msg.Payload.(*Request)
 	proc := ep.M.Procs[msg.To]
 	svc := ep.services[req.Proc]
+	ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCRecv, req.Span, int64(req.From), int64(req.Proc), "")
 
 	// Interrupt entry + demux.
 	base := IntrEntryExit + ServerDispatch
@@ -403,6 +421,7 @@ func (ep *Endpoint) reply(proc *machine.Processor, req *Request, result any, err
 		return
 	}
 	proc.Interrupt(cost, func() {
+		ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
 		dst := ep.targetProc(caller)
 		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
 			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
@@ -456,6 +475,7 @@ func (ep *Endpoint) serverLoop(t *sim.Task) {
 			continue
 		}
 		proc.Use(t, ServerReply)
+		ep.Tracer.EmitSpan(t.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
 		dst := ep.targetProc(caller)
 		ep.M.SendSIPS(t, proc, &machine.SIPSMsg{
 			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,

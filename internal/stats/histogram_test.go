@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("empty histogram not all-zero")
+	}
+	for _, v := range []float64{1, 2, 4, 8, 16} {
+		h.Observe(v)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Min() != 1 || h.Max() != 16 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-6.2) > 1e-9 {
+		t.Errorf("Mean = %v, want 6.2", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	// Log-bucketed: estimates must land within one bucket width (2^¼).
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.5, 500}, {0.9, 900}, {0.99, 990}, {1, 1000},
+	} {
+		got := h.Quantile(tc.q)
+		lo, hi := tc.want/1.2, tc.want*1.2
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want within [%v, %v]", tc.q, got, lo, hi)
+		}
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-3)
+	h.Observe(0)
+	h.Observe(10)
+	if h.Min() != -3 || h.Max() != 10 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.25); got != -3 {
+		t.Errorf("Quantile(0.25) = %v, want -3 (the <=0 bucket)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("Quantile(1) = %v, want 10", got)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 2 || s.Buckets[0].Count != 2 {
+		t.Errorf("snapshot buckets = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramObserveTime(t *testing.T) {
+	var h Histogram
+	h.ObserveTime(50 * sim.Microsecond)
+	if got := h.Mean(); math.Abs(got-50) > 1e-9 {
+		t.Errorf("ObserveTime mean = %v µs, want 50", got)
+	}
+}
+
+func TestHistogramSnapshotFormat(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(1 + i%7))
+	}
+	out := h.Snapshot().Format(3)
+	if !strings.Contains(out, "n=100") || !strings.Contains(out, "#") {
+		t.Errorf("Format output missing summary or bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines > 4 {
+		t.Errorf("Format(3) printed %d lines, want <= 4:\n%s", lines, out)
+	}
+}
+
+func TestHistogramDeterminism(t *testing.T) {
+	run := func() string {
+		var h Histogram
+		v := 1.0
+		for i := 0; i < 500; i++ {
+			v = math.Mod(v*1.7+3.1, 977) + 1
+			h.Observe(v)
+		}
+		return h.Snapshot().Format(0)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("snapshot differs between identical runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestRegistryHist(t *testing.T) {
+	r := NewRegistry()
+	r.Hist("b.lat").Observe(2)
+	r.Hist("a.lat").Observe(1)
+	r.Hist("a.lat").Observe(3)
+	if r.Hist("a.lat").N() != 2 {
+		t.Errorf("a.lat N = %d", r.Hist("a.lat").N())
+	}
+	names := r.HistNames()
+	if len(names) != 2 || names[0] != "a.lat" || names[1] != "b.lat" {
+		t.Errorf("HistNames = %v", names)
+	}
+}

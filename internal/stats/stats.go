@@ -115,6 +115,187 @@ func (d *Distribution) Stddev() float64 {
 	return math.Sqrt(ss / float64(len(d.samples)))
 }
 
+// histBucketsPerOctave sets the Histogram resolution: 4 buckets per
+// power of two, i.e. bucket bounds grow by 2^(1/4) ≈ 19 %.
+const histBucketsPerOctave = 4
+
+// Histogram accumulates samples into logarithmic buckets and reports
+// percentile estimates from the bucket counts. Unlike Distribution it
+// stores O(buckets) state, not O(samples), so it suits unbounded series
+// (per-RPC latency, per-fault latency); Distribution remains for the
+// exact-mean component tables. All arithmetic is deterministic: samples
+// arrive in engine order and quantiles are computed over sorted bucket
+// indices.
+type Histogram struct {
+	counts   map[int]int64 // bucket index -> count (sparse)
+	zero     int64         // samples <= 0
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// bucketOf maps a positive sample to its logarithmic bucket index.
+func bucketOf(v float64) int {
+	return int(math.Floor(math.Log2(v) * histBucketsPerOctave))
+}
+
+// bucketLo returns the inclusive lower bound of bucket idx.
+func bucketLo(idx int) float64 {
+	return math.Pow(2, float64(idx)/histBucketsPerOctave)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	if v <= 0 {
+		h.zero++
+		return
+	}
+	h.counts[bucketOf(v)]++
+}
+
+// ObserveTime records a sim.Time sample in microseconds.
+func (h *Histogram) ObserveTime(t sim.Time) { h.Observe(t.Micros()) }
+
+// N returns the sample count.
+func (h *Histogram) N() int64 { return h.n }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the average, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest sample, or 0 with none.
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample, or 0 with none.
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// sortedBuckets returns the occupied bucket indices ascending.
+func (h *Histogram) sortedBuckets() []int {
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
+}
+
+// Quantile estimates the q-th quantile (0..1) by nearest rank over the
+// buckets, returning the geometric midpoint of the selected bucket
+// clamped to the observed min/max. Exact for the extremes (0 -> Min,
+// 1 -> Max), within one bucket width (±19 %) elsewhere.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank <= h.zero {
+		return h.min // the <=0 bucket: its smallest member is the min
+	}
+	seen := h.zero
+	for _, idx := range h.sortedBuckets() {
+		seen += h.counts[idx]
+		if seen >= rank {
+			mid := math.Sqrt(bucketLo(idx) * bucketLo(idx+1))
+			return math.Min(math.Max(mid, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// HistBucket is one occupied bucket of a snapshot.
+type HistBucket struct {
+	Lo, Hi float64 // [Lo, Hi)
+	Count  int64
+}
+
+// HistSnapshot is a Histogram rendered to plain values.
+type HistSnapshot struct {
+	N              int64
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	Buckets        []HistBucket // ascending; <=0 samples as [0,0)
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		N: h.n, Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+	if h.zero > 0 {
+		s.Buckets = append(s.Buckets, HistBucket{Count: h.zero})
+	}
+	for _, idx := range h.sortedBuckets() {
+		s.Buckets = append(s.Buckets, HistBucket{
+			Lo: bucketLo(idx), Hi: bucketLo(idx + 1), Count: h.counts[idx],
+		})
+	}
+	return s
+}
+
+// Format renders the snapshot: a summary line plus up to maxRows bucket
+// bars (largest first; <=0 keeps every bucket), for dashboards.
+func (s HistSnapshot) Format(maxRows int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1f min=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+		s.N, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max)
+	rows := append([]HistBucket(nil), s.Buckets...)
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Count > rows[j].Count })
+	if maxRows > 0 && len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Lo < rows[j].Lo })
+	var peak int64 = 1
+	for _, b := range rows {
+		if b.Count > peak {
+			peak = b.Count
+		}
+	}
+	for _, b := range rows {
+		bar := int(b.Count * 24 / peak)
+		if bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "  [%9.1f,%9.1f) %-24s %d\n",
+			b.Lo, b.Hi, strings.Repeat("#", bar), b.Count)
+	}
+	return sb.String()
+}
+
 // Breakdown accumulates named latency components, preserving insertion
 // order, to regenerate component tables like Table 5.2.
 type Breakdown struct {
@@ -282,6 +463,7 @@ func (t *Table) String() string {
 type Registry struct {
 	counters map[string]*Counter
 	dists    map[string]*Distribution
+	hists    map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -289,6 +471,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		dists:    make(map[string]*Distribution),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -310,6 +493,26 @@ func (r *Registry) Dist(name string) *Distribution {
 		r.dists[name] = d
 	}
 	return d
+}
+
+// Hist returns (creating if needed) the named histogram.
+func (r *Registry) Hist(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistNames returns all histogram names, sorted.
+func (r *Registry) HistNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // CounterNames returns all counter names, sorted.
