@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check trace-check race bench bench-engine bench-report clean
+.PHONY: all build test lint check trace-check drill-smoke race bench bench-engine bench-report clean
 
 all: check
 
@@ -37,6 +37,12 @@ check: build
 trace-check:
 	$(GO) test -count=1 -run 'TestTraceAndMetricsDeterminism' ./internal/faultinject/
 	$(GO) test -count=1 -run 'TestExportChromePairsSpans|TestSetMergeTotalOrder|TestSpanPropagationAcrossCells' ./internal/trace/
+
+# drill-smoke is the fast end-to-end campaign gate: one trial of every
+# scenario (paper rows and v2 extensions) through the faultdrill CLI,
+# exiting nonzero on any containment failure.
+drill-smoke:
+	$(GO) run ./cmd/faultdrill -trials 1
 
 # race runs the concurrency-sensitive packages under the race detector,
 # including the cross-package determinism gates in internal/faultinject.

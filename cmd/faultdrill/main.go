@@ -1,15 +1,20 @@
-// Command faultdrill runs the §7.4 fault-injection campaign — 49 fail-stop
-// hardware faults and 20 kernel data corruptions — and reports containment
-// and detection latency per scenario (Table 7.4).
+// Command faultdrill runs the fault-injection campaign: the paper's §7.4
+// rows — 49 fail-stop hardware faults and 20 kernel data corruptions
+// (Table 7.4) — plus the v2 adversarial extensions that attack the recovery
+// substrate itself (message drop/duplicate/corrupt, double faults,
+// coordinator death mid-round, fault storms). It reports containment and
+// detection latency per scenario.
 //
 // Usage:
 //
-//	faultdrill            # the full 69-trial campaign
+//	faultdrill            # the full campaign, paper rows + extensions
 //	faultdrill -trials 3  # 3 trials per scenario
 //	faultdrill -j 8       # fan trials across 8 workers (same results at any -j)
 //	faultdrill -json -o drill.json       # machine-readable campaign report
 //	faultdrill -scenario 4 -trial 2 -v   # one specific trial, verbose
 //	faultdrill -scenario 2 -trial 0 -trace out.json  # Perfetto trace of one trial
+//	faultdrill -sweep                    # seeded grid sweep with failure minimization
+//	faultdrill -sweep -points 220        # at least 220 (scenario × trial) grid points
 package main
 
 import (
@@ -40,18 +45,30 @@ type campaignReport struct {
 
 func main() {
 	var (
-		trials    = flag.Int("trials", 0, "trials per scenario (0 = the paper's counts)")
-		scenario  = flag.Int("scenario", -1, "run only this scenario (0-4)")
+		trials    = flag.Int("trials", 0, "trials per scenario (0 = the default campaign counts)")
+		scenario  = flag.Int("scenario", -1, fmt.Sprintf("run only this scenario (0-%d)", faultinject.NumScenarios-1))
 		trial     = flag.Int("trial", 0, "trial index for -scenario")
 		verbose   = flag.Bool("v", false, "per-trial detail")
 		jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "parallel trial workers (1 = sequential)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable campaign report instead of the table")
 		outPath   = flag.String("o", "", "write the -json report to a file instead of stdout")
 		tracePath = flag.String("trace", "", "with -scenario: write the trial's Chrome trace-event JSON here")
+		sweep     = flag.Bool("sweep", false, "run the seeded (scenario × trial) grid sweep with failure minimization")
+		points    = flag.Int("points", 220, "with -sweep: minimum grid points to cover")
 	)
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*jobs)
+
+	if *sweep {
+		per := (*points + faultinject.NumScenarios - 1) / faultinject.NumScenarios
+		rep := faultinject.Sweep(faultinject.SweepOpts{TrialsPer: per})
+		fmt.Print(rep.Format())
+		if !rep.AllOK() {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *scenario >= 0 {
 		s := faultinject.Scenario(*scenario)
@@ -83,18 +100,12 @@ func main() {
 		return
 	}
 
-	scenarios := []faultinject.Scenario{
-		faultinject.NodeFailProcCreate,
-		faultinject.NodeFailCOWSearch,
-		faultinject.NodeFailRandom,
-		faultinject.CorruptAddrMap,
-		faultinject.CorruptCOWTree,
-	}
+	scenarios := faultinject.AllScenarios()
 	start := time.Now()
 	var rows []*harness.Table74Row
 	allOK := true
 	for _, s := range scenarios {
-		n := s.PaperTests()
+		n := s.DefaultTests()
 		if *trials > 0 {
 			n = *trials
 		}

@@ -356,6 +356,32 @@ func (mg *Manager) ResolvePage(t *sim.Task, lp vm.LogicalPage, write bool) (*vm.
 	return mg.VM.ImportRemote(t, lp, write)
 }
 
+// auditOff is a page offset no node ever records (offsets are
+// non-negative), so a Lookup with it walks and validates a node's entire
+// ancestor chain without matching anything.
+const auditOff int64 = -1
+
+// Audit runs the cell's kernel consistency check over the copy-on-write
+// forest: every live node in the local arena has its full ancestor chain
+// walked with the same checks as a lookup — type tag, entry count, the
+// depth bound that catches pointer cycles, and careful remote reads for
+// chains that cross cells. This is the paper's aggressive failure
+// detection: damage a workload never happens to touch again must still be
+// found, and a cell that finds its own kernel data damaged panics
+// (OnLocalDamage fires per damaged chain). Returns the damaged-chain
+// count.
+func (mg *Manager) Audit(t *sim.Task) int {
+	var nodes []kmem.Addr
+	mg.arena().EachTagged(TagNode, func(a kmem.Addr) { nodes = append(nodes, a) })
+	damaged := 0
+	for _, n := range nodes {
+		if _, _, err := mg.Lookup(t, n, auditOff); err != nil {
+			damaged++
+		}
+	}
+	return damaged
+}
+
 // CorruptParent overwrites a node's parent pointer — the §7.4 software
 // fault injection for the copy-on-write tree.
 func (mg *Manager) CorruptParent(node kmem.Addr, val uint64) bool {

@@ -170,7 +170,7 @@ func (mg *Manager) registerLookupService() {
 				return nil, visits, true, ErrTreeDamaged
 			}
 			return &treeLookupReply{Next: cur}, visits, true, nil
-		}, nil)
+		}, nil, rpc.Idempotent())
 }
 
 func off64(v int64) int64 { return v }

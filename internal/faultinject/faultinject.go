@@ -13,6 +13,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/core"
+	"repro/internal/fs"
 	"repro/internal/kmem"
 	"repro/internal/parallel"
 	"repro/internal/proc"
@@ -55,6 +56,18 @@ func (s Scenario) String() string {
 		return "corrupt pointer in process address map (P)"
 	case CorruptCOWTree:
 		return "corrupt pointer in copy-on-write tree (R)"
+	case MsgDrop:
+		return "message dropped in flight (P, ext)"
+	case MsgDup:
+		return "message duplicated in flight (P, ext)"
+	case MsgCorrupt:
+		return "message corrupted in flight (P, ext)"
+	case DoubleFault:
+		return "second node failure during recovery (P, ext)"
+	case CoordinatorDeath:
+		return "recovery coordinator fails mid-round (P, ext)"
+	case FaultStorm:
+		return "message fault storm (P, ext)"
 	default:
 		return "unknown"
 	}
@@ -126,6 +139,10 @@ type TrialOpts struct {
 	KeepTrace bool
 	// TraceCap overrides the per-cell trace ring capacity (0 = default).
 	TraceCap int
+	// Seed overrides the seed derived from (scenario, trial). The sweep
+	// failure minimizer uses it to search for the smallest reproducing
+	// seed; 0 keeps the derived default.
+	Seed int64
 }
 
 // RunTrial executes one injection trial from a fresh boot.
@@ -138,12 +155,31 @@ func RunTrial(s Scenario, trial int) *TrialResult {
 // concurrent trials on a parallel.Runner give bit-identical results.
 func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	seed := int64(10007*trial + int(s)*211 + 7)
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
 	h := workload.BootHiveWith(4, seed, func(cfg *core.Config) {
 		if opts.TraceCap > 0 {
 			cfg.TraceCap = opts.TraceCap
 		}
+		if s == CoordinatorDeath {
+			// The recovery master (cell 0) is itself a casualty here, so
+			// the file servers must live elsewhere: /usr and /data move
+			// to cell 2, keeping the correctness check runnable on the
+			// surviving cells {2, 3}.
+			cfg.Mounts = []fs.Mount{
+				{Prefix: "/tmp", Cell: 3},
+				{Prefix: "/usr", Cell: 2},
+				{Prefix: "/data", Cell: 2},
+			}
+		}
 	})
 	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%2}
+	if s == CoordinatorDeath {
+		// Cell 0 is the coordinator casualty, so the first fault targets
+		// a fixed non-coordinator, non-file-server cell.
+		res.TargetCell = 1
+	}
 	if opts.TraceHash {
 		th := fnv.New64a()
 		h.Eng.Trace = func(at sim.Time, what string) {
@@ -173,7 +209,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		injected = true
 		res.InjectedAt = h.Eng.Now()
 		switch {
-		case s.Hardware():
+		case s.Hardware(), s == DoubleFault, s == CoordinatorDeath:
 			h.Cells[target].FailHardware()
 		}
 	}
@@ -249,6 +285,57 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			}
 		})
 		wl = workload.RunRaytrace(h, cfg, 60*sim.Second)
+
+	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm:
+		inj := armMsgFaults(h, s, target, rng)
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+		inj.disarm()
+		if inj.fired > 0 {
+			injected = true
+			res.InjectedAt = inj.firstAt
+		}
+
+	case DoubleFault:
+		// First fault: the target cell fails at a random time. Second
+		// fault: another member of the resulting recovery round dies just
+		// after barrier 1 opens — while every survivor is inside the
+		// round — exercising the barrier-shrink and vote-withdrawal path.
+		second := 3 - target
+		at := sim.Time(500+rng.Intn(3000)) * sim.Millisecond
+		h.Eng.At(at, inject)
+		var secondArmed bool
+		h.Coord.OnBarrier1Open = func(suspect, coordinator int) {
+			if secondArmed || suspect != target {
+				return
+			}
+			secondArmed = true
+			h.Eng.After(2*sim.Millisecond, func() {
+				if !h.Cells[second].Failed() {
+					h.Cells[second].FailHardware()
+				}
+			})
+		}
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+
+	case CoordinatorDeath:
+		// The round coordinator (the recovery master) fails between
+		// barrier 1 and barrier 2 of the round recovering the target;
+		// the survivors must restart the round under the next live cell.
+		at := sim.Time(500+rng.Intn(3000)) * sim.Millisecond
+		h.Eng.At(at, inject)
+		var coordArmed bool
+		h.Coord.OnBarrier1Open = func(suspect, coordinator int) {
+			if coordArmed || suspect != target {
+				return
+			}
+			coordArmed = true
+			h.Eng.After(2*sim.Millisecond, func() {
+				if c := h.Cells[coordinator]; !c.Failed() {
+					c.FailHardware()
+				}
+			})
+		}
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
 	}
 
 	if !injected {
@@ -256,33 +343,73 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		return res
 	}
 
-	// Let detection and recovery finish.
-	h.RunUntil(func() bool {
-		return h.Coord.LiveCount() == 3 && h.Coord.RecoveryEndAt > res.InjectedAt
-	}, h.Eng.Now()+5*sim.Second)
-
-	if h.Coord.LastDetectAt > res.InjectedAt {
-		res.Detected = true
-		res.DetectMs = (h.Coord.LastDetectAt - res.InjectedAt).Millis()
-		if h.Coord.RecoveryEndAt > h.Coord.FirstDetectAt {
-			res.RecoveryMs = (h.Coord.RecoveryEndAt - h.Coord.FirstDetectAt).Millis()
-		}
+	// A late corruption can land after the victim's last walk of the
+	// damaged structure, leaving the fault latent when the workload
+	// drains. The cell's periodic kernel consistency audit must still
+	// find it (§4.1 aggressive failure detection) — run the target's
+	// audit now so the verdict never depends on whether the workload
+	// happened to re-touch the damaged node.
+	if (s == CorruptAddrMap || s == CorruptCOWTree) && !h.Cells[target].Failed() {
+		auditKernel(h, target)
 	}
 
-	// Containment: exactly the injected cell is down.
+	// Cells this scenario is expected to kill (empty for message faults).
+	expectDead := map[int]bool{}
+	switch {
+	case s == DoubleFault:
+		expectDead[target] = true
+		expectDead[3-target] = true
+	case s == CoordinatorDeath:
+		expectDead[target] = true
+		expectDead[0] = true
+	case s.ExpectDeaths() == 1:
+		expectDead[target] = true
+	}
+
+	if len(expectDead) > 0 {
+		// Let detection and recovery finish.
+		want := len(h.Cells) - len(expectDead)
+		h.RunUntil(func() bool {
+			// RecoveryIdle matters for the multi-fault rows: the live
+			// set reaches `want` at the last verdict, while that round's
+			// recovery phases are still running.
+			return h.Coord.LiveCount() == want && h.Coord.RecoveryEndAt > res.InjectedAt &&
+				h.Coord.RecoveryIdle()
+		}, h.Eng.Now()+5*sim.Second)
+
+		if h.Coord.LastDetectAt > res.InjectedAt {
+			res.Detected = true
+			res.DetectMs = (h.Coord.LastDetectAt - res.InjectedAt).Millis()
+			if h.Coord.RecoveryEndAt > h.Coord.FirstDetectAt {
+				res.RecoveryMs = (h.Coord.RecoveryEndAt - h.Coord.FirstDetectAt).Millis()
+			}
+		}
+	} else {
+		// Message faults kill nobody: detection means the messaging
+		// layer visibly observed and absorbed the fault (checksum
+		// discard, retransmit, dedup) while the workload ran.
+		res.Detected = msgFaultDetected(h, s)
+	}
+
+	// Containment: exactly the expected set of cells is down.
 	res.Contained = true
 	for _, c := range h.Cells {
-		if c.ID == target {
-			if !c.Failed() {
-				res.Contained = false
-				res.Notes += "injected cell still live;"
-			}
-			continue
-		}
-		if c.Failed() {
+		switch {
+		case expectDead[c.ID] && !c.Failed():
+			res.Contained = false
+			res.Notes += fmt.Sprintf("cell %d expected down but live;", c.ID)
+		case !expectDead[c.ID] && c.Failed():
 			res.Contained = false
 			res.Notes += fmt.Sprintf("cell %d collaterally failed;", c.ID)
 		}
+	}
+	if len(expectDead) == 0 && (!wl.Done || len(wl.Errors) > 0) {
+		res.Contained = false
+		res.Notes += fmt.Sprintf("workload under message faults: done=%v errs=%v;", wl.Done, wl.Errors)
+	}
+	if s == CoordinatorDeath && h.Coord.RoundRestarts == 0 {
+		res.Contained = false
+		res.Notes += "no round restart after coordinator death;"
 	}
 
 	// Data integrity: no corrupt data visible in surviving outputs.
@@ -327,6 +454,19 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		res.StateOK = true
 	}
 	return res
+}
+
+// auditKernel runs the target cell's periodic kernel consistency audit in
+// a fresh process. If the audit finds damage the cell panics out from
+// under the audit task, so completion is "audit finished or cell died".
+func auditKernel(h *core.Hive, target int) {
+	cell := h.Cells[target]
+	done := false
+	cell.Procs.Spawn("kaudit", 907, func(p *proc.Process, t *sim.Task) {
+		defer func() { done = true }()
+		cell.COW.Audit(t)
+	})
+	h.RunUntil(func() bool { return done || cell.Failed() }, h.Eng.Now()+5*sim.Second)
 }
 
 // outputPresent checks a file exists with full length at its home.
@@ -458,7 +598,9 @@ func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 				fmt.Sprintf("trial %d: detected=%v contained=%v integrity=%v check=%v notes=%s",
 					i, tr.Detected, tr.Contained, tr.IntegrityOK, tr.CorrectRunOK, tr.Notes))
 		}
-		if tr.Detected {
+		// Message-fault scenarios kill nobody, so they have no recovery
+		// latency to aggregate; only death scenarios feed the histograms.
+		if tr.Detected && tr.Scenario.ExpectDeaths() > 0 {
 			hd.Observe(tr.DetectMs)
 			hr.Observe(tr.RecoveryMs)
 		}

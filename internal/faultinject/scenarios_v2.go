@@ -1,0 +1,256 @@
+// scenarios_v2.go — the v2 adversarial campaign. The paper's Table 7.4
+// injects fail-stop node faults and kernel data corruption; the v2 rows
+// attack the substrate the recovery algorithms themselves depend on:
+// messages are dropped, duplicated, delayed, and corrupted in flight, and
+// further faults are injected *during* a recovery round — a second member
+// dies mid-round, or the round coordinator (the recovery master) dies
+// between its two barriers. Containment for the message rows means nobody
+// dies and the workload completes unharmed (the fault is absorbed by
+// checksum discard, retry, and dedup); for the recovery rows it means
+// exactly the two faulted cells go down and the round still converges.
+package faultinject
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+)
+
+const (
+	// MsgDrop loses SIPS messages carrying retry-safe RPC traffic
+	// (requests to — or replies from — idempotent services); the caller's
+	// bounded retransmit must recover (pmake).
+	MsgDrop Scenario = CorruptCOWTree + 1 + iota
+	// MsgDup delivers messages into the target cell twice; server-side
+	// dedup and stale-reply discard must absorb the duplicates (pmake).
+	MsgDup
+	// MsgCorrupt flips payload bits in flight; the line checksum must
+	// detect the damage at delivery and degrade the fault to a drop
+	// (pmake).
+	MsgCorrupt
+	// DoubleFault fails a second cell while the first failure's recovery
+	// round is between its barriers, forcing the barrier-shrink and
+	// vote-withdrawal path (pmake).
+	DoubleFault
+	// CoordinatorDeath fails the round coordinator (the recovery master)
+	// between barrier 1 and barrier 2; the survivors must restart the
+	// round under the next live cell (pmake).
+	CoordinatorDeath
+	// FaultStorm mixes drops, duplicates, delays, and corruption over a
+	// 25 ms window of the whole message stream (pmake).
+	FaultStorm
+)
+
+// NumScenarios counts all campaign scenarios, paper rows and extensions.
+const NumScenarios = int(FaultStorm) + 1
+
+// Extension reports whether the scenario extends the paper's Table 7.4
+// (the v2 adversarial rows) rather than reproducing one of its rows.
+func (s Scenario) Extension() bool { return s > CorruptCOWTree }
+
+// DefaultTests returns the default campaign trial count: the paper's
+// counts for Table 7.4 rows, fixed counts for the extension rows.
+func (s Scenario) DefaultTests() int {
+	if !s.Extension() {
+		return s.PaperTests()
+	}
+	switch s {
+	case MsgDrop, MsgDup, MsgCorrupt:
+		return 10
+	case DoubleFault, CoordinatorDeath, FaultStorm:
+		return 6
+	}
+	return 0
+}
+
+// ExpectDeaths returns how many cells the scenario is expected to kill:
+// message faults must kill nobody; the recovery-under-fault rows kill two.
+func (s Scenario) ExpectDeaths() int {
+	switch s {
+	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm:
+		return 0
+	case DoubleFault, CoordinatorDeath:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// AllScenarios lists every campaign scenario, paper rows first.
+func AllScenarios() []Scenario {
+	out := make([]Scenario, NumScenarios)
+	for i := range out {
+		out[i] = Scenario(i)
+	}
+	return out
+}
+
+// msgInjector drives machine.FaultHook for one trial. Every decision is a
+// deterministic function of the message stream and the trial's seeded
+// arming time, so same-seed trials stay bit-identical.
+type msgInjector struct {
+	h      *core.Hive
+	mode   machine.MsgFault
+	storm  bool
+	target int      // destination cell filter (-1 = any)
+	armAt  sim.Time // faults begin here
+	until  sim.Time // and end here (0 = when the budget runs out)
+	budget int
+	active bool
+
+	seq     int      // messages seen in the window (storm pattern index)
+	fired   int      // faults actually injected
+	firstAt sim.Time // time of the first injection
+}
+
+// armMsgFaults installs a fault hook for one of the message scenarios.
+func armMsgFaults(h *core.Hive, s Scenario, target int, rng *rand.Rand) *msgInjector {
+	inj := &msgInjector{
+		h:      h,
+		target: target,
+		active: true,
+		budget: 3,
+		armAt:  sim.Time(800+rng.Intn(2000)) * sim.Millisecond,
+	}
+	switch s {
+	case MsgDrop:
+		inj.mode = machine.FaultDrop
+	case MsgDup:
+		inj.mode = machine.FaultDup
+	case MsgCorrupt:
+		inj.mode = machine.FaultCorrupt
+	case FaultStorm:
+		inj.storm = true
+		inj.target = -1
+		inj.budget = 40
+		// The 25 ms storm window opens at the first message at or after
+		// the arming time (a fixed window can land in a pure-compute gap
+		// with no traffic at all).
+	}
+	h.M.FaultHook = inj.decide
+	return inj
+}
+
+// disarm removes the hook (before the post-fault correctness check).
+func (in *msgInjector) disarm() {
+	in.active = false
+	in.h.M.FaultHook = nil
+}
+
+// retrySafe reports whether losing msg is recoverable above the wire: only
+// RPC traffic of idempotent services is retransmitted by the caller (and
+// its retransmits deduplicated by the server), so only that traffic may be
+// dropped or corrupted without failing the workload.
+func (in *msgInjector) retrySafe(msg *machine.SIPSMsg) bool {
+	meta, ok := rpc.ClassifySIPS(msg)
+	if !ok {
+		return false
+	}
+	return in.h.Cells[0].EP.IsIdempotent(meta.Proc)
+}
+
+// destCell maps the destination processor to its owning cell.
+func (in *msgInjector) destCell(msg *machine.SIPSMsg) int {
+	return in.h.CellOfNode[in.h.M.Procs[msg.To].Node.ID]
+}
+
+// hit records one injection and returns its decision.
+func (in *msgInjector) hit(d machine.MsgFaultDecision) machine.MsgFaultDecision {
+	if in.fired == 0 {
+		in.firstAt = in.h.Eng.Now()
+	}
+	in.fired++
+	in.budget--
+	return d
+}
+
+// decide is the machine.FaultHook entry point.
+func (in *msgInjector) decide(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+	if !in.active || in.budget <= 0 {
+		return machine.MsgFaultDecision{}
+	}
+	now := in.h.Eng.Now()
+	if now < in.armAt || (in.until > 0 && now > in.until) {
+		return machine.MsgFaultDecision{}
+	}
+	if in.target >= 0 && in.destCell(msg) != in.target {
+		return machine.MsgFaultDecision{}
+	}
+	if in.storm {
+		if in.fired == 0 {
+			in.until = now + 25*sim.Millisecond
+		}
+		return in.stormDecide(msg)
+	}
+	switch in.mode {
+	case machine.FaultDrop, machine.FaultCorrupt:
+		if !in.retrySafe(msg) {
+			return machine.MsgFaultDecision{}
+		}
+	case machine.FaultDup:
+		if _, ok := rpc.ClassifySIPS(msg); !ok {
+			return machine.MsgFaultDecision{}
+		}
+	}
+	return in.hit(machine.MsgFaultDecision{Fault: in.mode})
+}
+
+// stormDecide mixes fault kinds over the stream in a fixed pattern:
+// duplicates and delays may hit any message (dedup and timeouts absorb
+// them), drops and corruption only retry-safe traffic.
+func (in *msgInjector) stormDecide(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+	in.seq++
+	switch in.seq % 5 {
+	case 0:
+		return in.hit(machine.MsgFaultDecision{Fault: machine.FaultDup})
+	case 1:
+		return in.hit(machine.MsgFaultDecision{Fault: machine.FaultDelay, Delay: 200 * sim.Microsecond})
+	case 2:
+		if in.retrySafe(msg) {
+			return in.hit(machine.MsgFaultDecision{Fault: machine.FaultDrop})
+		}
+		return in.hit(machine.MsgFaultDecision{Fault: machine.FaultDelay, Delay: 100 * sim.Microsecond})
+	case 3:
+		if in.retrySafe(msg) {
+			return in.hit(machine.MsgFaultDecision{Fault: machine.FaultCorrupt})
+		}
+	}
+	return machine.MsgFaultDecision{}
+}
+
+// rpcCounterTotal sums one endpoint counter across every cell.
+func rpcCounterTotal(h *core.Hive, name string) int64 {
+	var n int64
+	for _, c := range h.Cells {
+		n += c.EP.Metrics.Counter(name).Value()
+	}
+	return n
+}
+
+// msgFaultDetected reports whether the messaging layer visibly observed
+// and absorbed the injected wire fault — the detection criterion for the
+// zero-death scenarios.
+func msgFaultDetected(h *core.Hive, s Scenario) bool {
+	switch s {
+	case MsgDrop:
+		// A dropped request or reply must have forced a retransmit.
+		return rpcCounterTotal(h, "rpc.retries") > 0
+	case MsgCorrupt:
+		// The delivery-side checksum must have discarded a line.
+		return h.M.Metrics.Counter("sips.checksum_drops").Value() > 0
+	case MsgDup:
+		// A duplicate request hits the server dedup table, a duplicate
+		// reply the caller's duplicate- or stale-reply discard.
+		return rpcCounterTotal(h, "rpc.dup_requests")+
+			rpcCounterTotal(h, "rpc.dup_replies")+
+			rpcCounterTotal(h, "rpc.stale_replies") > 0
+	case FaultStorm:
+		// Mixed faults: injection firing is the witness; per-kind
+		// evidence is covered by the dedicated scenarios.
+		return true
+	}
+	return false
+}

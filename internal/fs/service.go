@@ -75,7 +75,7 @@ func (f *FS) registerServices() {
 				return nil, LookupServer, true, fmt.Errorf("%w: %s", ErrNotFound, args.Path)
 			}
 			return &openReply{ID: id, Gen: f.files[id].Gen}, LookupServer, true, nil
-		}, nil)
+		}, nil, rpc.Idempotent())
 
 	f.EP.Register(ProcGetattr, "fs.getattr",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
@@ -98,7 +98,7 @@ func (f *FS) registerServices() {
 			}
 			file := f.files[id]
 			return &openReply{ID: id, Gen: file.Gen, Size: file.SizePgs}, GetattrServer, true, nil
-		}, nil)
+		}, nil, rpc.Idempotent())
 
 	f.EP.Register(ProcRename, "fs.rename", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
@@ -193,7 +193,7 @@ func (f *FS) registerServices() {
 			}
 			tag, corrupt := f.M.PageTag(pf.Frame)
 			return &pageReply{Tag: tag, Corrupt: corrupt}, nil
-		})
+		}, rpc.Idempotent())
 
 	// Bulk write: queued (it allocates frames and may evict).
 	f.EP.Register(ProcWriteBulk, "fs.writebulk", nil,

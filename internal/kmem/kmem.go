@@ -10,6 +10,7 @@ package kmem
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Addr is a simulated kernel virtual address: cell number in the high 16
@@ -114,6 +115,22 @@ func (a *Arena) Free(addr Addr) {
 
 // Live returns the number of live objects (for leak tests).
 func (a *Arena) Live() int { return len(a.objects) }
+
+// EachTagged calls fn for every live object carrying the given type tag,
+// in address order — the deterministic iteration the kernel's periodic
+// consistency audits need.
+func (a *Arena) EachTagged(tag TypeTag, fn func(Addr)) {
+	offs := make([]uint64, 0, len(a.objects))
+	for off, obj := range a.objects {
+		if obj.tag == tag {
+			offs = append(offs, off)
+		}
+	}
+	sort.SliceStable(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		fn(MakeAddr(a.cell, off))
+	}
+}
 
 // garbage produces a deterministic junk word for unmapped reads, so wild
 // pointer traversals behave identically across runs.

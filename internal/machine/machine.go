@@ -126,6 +126,13 @@ type Machine struct {
 	// (standalone machine tests record nothing).
 	Trace []*trace.Tracer
 
+	// FaultHook, when set by a fault injector, inspects every SIPS
+	// message at launch and may drop, delay, duplicate, or corrupt it
+	// (see MsgFault). The hook runs in engine context and must be a
+	// deterministic function of the message and its own seeded state;
+	// nil (the production configuration) adds no cost to the send path.
+	FaultHook func(*SIPSMsg) MsgFaultDecision
+
 	pages []pageState // indexed by PageNum
 }
 

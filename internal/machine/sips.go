@@ -45,6 +45,46 @@ type SIPSMsg struct {
 	// data beyond the 128-byte line; the receiver must use the careful
 	// reference protocol to access it.
 	ByRef any
+	// Checksum covers the line; it is computed by the sending hardware at
+	// launch and verified at delivery, so injected payload corruption is
+	// *detected* and the line discarded — the messaging analogue of the
+	// firewall's containment contract (a corrupt line never reaches
+	// software).
+	Checksum uint32
+}
+
+// sipsChecksum is the hardware line checksum. Payload contents are not
+// simulated, so the checksum covers the header words; corruption is
+// modelled as bit flips in the stored checksum (see FaultCorrupt).
+func sipsChecksum(msg *SIPSMsg) uint32 {
+	h := uint32(2166136261)
+	for _, w := range [4]uint32{uint32(msg.From), uint32(msg.To), uint32(msg.Kind), uint32(msg.Size)} {
+		h = (h ^ w) * 16777619
+	}
+	return h
+}
+
+// MsgFault enumerates the wire faults a FaultHook can inject.
+type MsgFault int
+
+const (
+	// FaultNone delivers the message normally.
+	FaultNone MsgFault = iota
+	// FaultDrop loses the message on the wire.
+	FaultDrop
+	// FaultDelay adds MsgFaultDecision.Delay of extra wire latency.
+	FaultDelay
+	// FaultDup delivers the message twice (one wire latency apart).
+	FaultDup
+	// FaultCorrupt flips payload bits in flight; the delivery-side
+	// checksum verification detects the damage and discards the line.
+	FaultCorrupt
+)
+
+// MsgFaultDecision is a FaultHook's verdict on one message.
+type MsgFaultDecision struct {
+	Fault MsgFault
+	Delay sim.Time // extra latency for FaultDelay
 }
 
 // SendSIPS transmits msg from the calling task's processor. Delivery costs
@@ -60,8 +100,7 @@ func (m *Machine) SendSIPS(t *sim.Task, proc *Processor, msg *SIPSMsg) error {
 		panic("machine: SIPS payload exceeds one cache line")
 	}
 	msg.From = proc.ID
-	dstProc := m.Procs[msg.To]
-	dstNode := dstProc.Node
+	dstNode := m.Procs[msg.To].Node
 
 	// The send itself occupies the sender for the uncached launch write.
 	proc.Use(t, m.Cfg.UncachedNs)
@@ -70,22 +109,9 @@ func (m *Machine) SendSIPS(t *sim.Task, proc *Processor, msg *SIPSMsg) error {
 		m.Metrics.Counter("sips.send_failures").Inc()
 		return err
 	}
-	m.Metrics.Counter("sips.sends").Inc()
-	m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
-
 	// Delivery: IPI latency, then the node's receive handler runs in
 	// interrupt context, paying the payload access latency.
-	m.Eng.After(m.wireLatency(), func() {
-		if dstNode.failed || dstProc.Halted() {
-			return // message lost with the node; sender's timeout handles it
-		}
-		handler := dstNode.OnSIPS
-		if handler == nil {
-			m.Metrics.Counter("sips.dropped_no_handler").Inc()
-			return
-		}
-		dstProc.Interrupt(m.Cfg.SIPSPayloadNs, func() { handler(msg) })
-	})
+	m.launchSIPS(proc.Node.ID, msg)
 	return nil
 }
 
@@ -100,26 +126,68 @@ func (m *Machine) SendSIPSAsync(proc *Processor, msg *SIPSMsg) error {
 		panic("machine: SIPS payload exceeds one cache line")
 	}
 	msg.From = proc.ID
-	dstProc := m.Procs[msg.To]
-	dstNode := dstProc.Node
+	dstNode := m.Procs[msg.To].Node
 	if err := dstNode.accessible(proc.Node.ID); err != nil {
 		m.Metrics.Counter("sips.send_failures").Inc()
 		return err
 	}
-	m.Metrics.Counter("sips.sends").Inc()
-	m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
-	m.Eng.After(m.wireLatency(), func() {
-		if dstNode.failed || dstProc.Halted() {
-			return
-		}
-		handler := dstNode.OnSIPS
-		if handler == nil {
-			m.Metrics.Counter("sips.dropped_no_handler").Inc()
-			return
-		}
-		dstProc.Interrupt(m.Cfg.SIPSPayloadNs, func() { handler(msg) })
-	})
+	m.launchSIPS(proc.Node.ID, msg)
 	return nil
+}
+
+// launchSIPS is the shared wire path of SendSIPS and SendSIPSAsync: it
+// stamps the hardware checksum, consults the fault hook, and schedules
+// delivery after the wire latency. srcNode is the sending node (for trace
+// attribution).
+func (m *Machine) launchSIPS(srcNode int, msg *SIPSMsg) {
+	m.Metrics.Counter("sips.sends").Inc()
+	m.tracer(srcNode).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
+	msg.Checksum = sipsChecksum(msg)
+
+	delay := m.wireLatency()
+	if m.FaultHook != nil {
+		switch d := m.FaultHook(msg); d.Fault {
+		case FaultDrop:
+			m.Metrics.Counter("sips.fault_drops").Inc()
+			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDrop, int64(msg.To), int64(msg.Kind), "")
+			return
+		case FaultDelay:
+			m.Metrics.Counter("sips.fault_delays").Inc()
+			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDelay, int64(msg.To), int64(d.Delay), "")
+			delay += d.Delay
+		case FaultDup:
+			m.Metrics.Counter("sips.fault_dups").Inc()
+			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDup, int64(msg.To), int64(msg.Kind), "")
+			m.Eng.After(delay+m.wireLatency(), func() { m.deliverSIPS(msg) })
+		case FaultCorrupt:
+			m.Metrics.Counter("sips.fault_corruptions").Inc()
+			msg.Checksum ^= 0xA5A5A5A5 // bits flipped in flight
+		}
+	}
+	m.Eng.After(delay, func() { m.deliverSIPS(msg) })
+}
+
+// deliverSIPS is the receive side: the hardware drops lines addressed to
+// failed or halted destinations, verifies the line checksum (discarding
+// detectably-corrupt lines), and runs the node's receive handler in
+// interrupt context.
+func (m *Machine) deliverSIPS(msg *SIPSMsg) {
+	dstProc := m.Procs[msg.To]
+	dstNode := dstProc.Node
+	if dstNode.failed || dstProc.Halted() {
+		return // message lost with the node; sender's timeout handles it
+	}
+	if msg.Checksum != sipsChecksum(msg) {
+		m.Metrics.Counter("sips.checksum_drops").Inc()
+		m.tracer(dstNode.ID).Emit(m.Eng.Now(), trace.MsgCorrupt, int64(msg.To), int64(msg.Kind), "")
+		return // detected corruption: discarded, never reaches software
+	}
+	handler := dstNode.OnSIPS
+	if handler == nil {
+		m.Metrics.Counter("sips.dropped_no_handler").Inc()
+		return
+	}
+	dstProc.Interrupt(m.Cfg.SIPSPayloadNs, func() { handler(msg) })
 }
 
 // SendIPI delivers a bare interprocessor interrupt with no payload —

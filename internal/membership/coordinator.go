@@ -25,6 +25,10 @@ type Coordinator struct {
 	AutoReintegrate bool
 	// BrokenHardware marks nodes that fail the master's diagnostics.
 	BrokenHardware map[int]bool
+	// OnBarrier1Open, when set (fault injectors), fires once per round at
+	// the moment the first member crosses barrier 1 — the window between
+	// the two recovery barriers the v2 campaign injects faults into.
+	OnBarrier1Open func(suspect, coordinator int)
 
 	cells      int
 	nodesByCel [][]int
@@ -46,6 +50,9 @@ type Coordinator struct {
 	FalseAlarms    int
 	DeadDeclared   []int
 	recoveryActive int
+	// RoundRestarts counts rounds whose coordinator died mid-round and
+	// were deterministically restarted under the next live member.
+	RoundRestarts int
 }
 
 // round is one agreement/recovery round.
@@ -64,6 +71,13 @@ type round struct {
 	b2Seen   map[int]bool
 	done     map[int]bool
 	entered  map[int]sim.Time
+
+	// coordinator is the member that drives the round's post-barrier
+	// work (diagnostics, reintegration): the lowest live member at round
+	// creation. If it dies mid-round the round restarts deterministically
+	// under the next live member (CellDiedMidRound).
+	coordinator int
+	b1Fired     bool // OnBarrier1Open fired
 
 	corruptAccuser int // -1, or a cell the round branded corrupt
 }
@@ -126,10 +140,12 @@ func (c *Coordinator) firstNodeOf(cell int) int { return c.nodesByCel[cell][0] }
 func (c *Coordinator) nodesOf(cell int) []int { return c.nodesByCel[cell] }
 
 // ensureRound joins (or creates) the round for this alert on behalf of
-// cellID. It returns nil when the alert is stale: its round already
-// completed, the suspect is already dead, or this cell already served the
-// active round.
-func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) *round {
+// cellID. A nil round with retry=false means the alert is stale: its round
+// already completed, the suspect is already dead, or this cell already
+// served the active round. retry=true means the coordinator is busy with a
+// different suspect and the caller should re-present the alert once the
+// active round drains.
+func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) (*round, bool) {
 	key := fmt.Sprintf("%d:%d", alert.Accuser, alert.Sequence)
 	if c.cur != nil {
 		// An active round for this suspect folds late members in even
@@ -138,19 +154,21 @@ func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) *round {
 		if c.cur.suspect == alert.Suspect && c.cur.members[cellID] &&
 			!c.cur.done[cellID] && !c.cur.joined[cellID] {
 			c.cur.joined[cellID] = true
-			return c.cur
+			return c.cur, false
 		}
 		if c.cur.suspect == alert.Suspect {
 			c.completed[key] = true // duplicate accusation, already serving
+			return nil, false
 		}
-		return nil // busy or already served; further hints will re-fire
+		// Busy with a different suspect: this alert still needs a round.
+		return nil, c.live[alert.Suspect]
 	}
 	if c.completed[key] {
-		return nil
+		return nil, false
 	}
 	if !c.live[alert.Suspect] {
 		c.completed[key] = true
-		return nil
+		return nil, false
 	}
 	r := &round{
 		key:     key,
@@ -168,15 +186,25 @@ func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) *round {
 		corruptAccuser: -1,
 	}
 	for cell := range c.live {
-		if cell != alert.Suspect {
-			r.members[cell] = true
+		if cell == alert.Suspect {
+			continue
 		}
+		// A cell whose monitor already died (simultaneous failure, not yet
+		// declared by its own round) can never join or arrive at the
+		// barriers — enrolling it would hang every survivor.
+		if mon := c.monitors[cell]; mon != nil && mon.dead {
+			continue
+		}
+		r.members[cell] = true
+	}
+	if ms := sortedCells(r.members); len(ms) > 0 {
+		r.coordinator = ms[0]
 	}
 	r.barrier1 = sim.NewBarrier(len(r.members))
 	r.barrier2 = sim.NewBarrier(len(r.members))
 	c.cur = r
 	c.RoundsRun++
-	return r
+	return r, false
 }
 
 // agree resolves the round's verdict for one member cell and returns the
@@ -203,24 +231,44 @@ func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
 					dead = 1
 				}
 				mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "")
-				if len(r.votes) == len(r.members) {
-					deadVotes := 0
-					for _, d := range r.votes {
-						if d {
-							deadVotes++
-						}
-					}
-					dead := map[int]bool{}
-					if deadVotes*2 > len(r.members) {
-						dead[r.suspect] = true
-					}
-					c.applyVerdict(r, dead)
-				}
+				c.tallyVotes(r)
 			}
 		}
 	}
 	v, _ := r.verdict.Wait(t)
 	return v.(map[int]bool)
+}
+
+// tallyVotes resolves the verdict once every (still-live) member has
+// voted. It is re-run when a member dies mid-agreement, so a dead voter
+// can never hang the round.
+func (c *Coordinator) tallyVotes(r *round) {
+	if r.verdict.Ready() || len(r.members) == 0 || len(r.votes) < len(r.members) {
+		return
+	}
+	deadVotes := 0
+	for _, d := range r.votes {
+		if d {
+			deadVotes++
+		}
+	}
+	dead := map[int]bool{}
+	if deadVotes*2 > len(r.members) {
+		dead[r.suspect] = true
+	}
+	c.applyVerdict(r, dead)
+}
+
+// noteBarrier1Open fires the fault-injection hook the first time any member
+// crosses barrier 1 — the inter-barrier window of the round.
+func (c *Coordinator) noteBarrier1Open(r *round) {
+	if r.b1Fired {
+		return
+	}
+	r.b1Fired = true
+	if c.OnBarrier1Open != nil {
+		c.OnBarrier1Open(r.suspect, r.coordinator)
+	}
 }
 
 // applyVerdict commits a round's outcome: live-set updates, the corrupt-
@@ -300,8 +348,11 @@ func (c *Coordinator) checkRoundDone(r *round) {
 	}
 }
 
-// CellDiedMidRound adjusts barrier membership when a member cell dies
-// while a round is in flight (multi-failure tolerance).
+// CellDiedMidRound handles a member cell dying while a round is in flight
+// (multi-failure tolerance): barrier membership shrinks so the survivors
+// cannot hang, the dead member's vote is withdrawn and the agreement
+// re-tallied, and — when the dead member was the round coordinator — the
+// round deterministically restarts under the next live member.
 func (c *Coordinator) CellDiedMidRound(cell int) {
 	r := c.cur
 	if r == nil || !r.members[cell] {
@@ -314,8 +365,27 @@ func (c *Coordinator) CellDiedMidRound(cell int) {
 	if !r.b2Seen[cell] {
 		r.barrier2.SetParties(len(r.members))
 	}
+	// Withdraw the dead member's vote (it may never have voted; a round
+	// must not wait on a dead voter) and re-tally the survivors.
+	delete(r.votes, cell)
+	c.tallyVotes(r)
+	if cell == r.coordinator {
+		if ms := sortedCells(r.members); len(ms) > 0 {
+			r.coordinator = ms[0]
+			c.RoundRestarts++
+			if mon := c.monitors[r.coordinator]; mon != nil {
+				mon.Tracer.Emit(mon.M.Eng.Now(), trace.RoundRestart,
+					int64(cell), int64(r.coordinator), "")
+			}
+		}
+	}
 	c.checkRoundDone(r)
 }
+
+// RecoveryIdle reports that no agreement/recovery round is active. Harness
+// code uses it to wait until multi-fault recovery has fully drained — the
+// live set shrinks at verdict time, before the recovery phases run.
+func (c *Coordinator) RecoveryIdle() bool { return c.cur == nil }
 
 // reintegrate returns a repaired cell to the live set.
 func (c *Coordinator) reintegrate(cell int) {

@@ -257,8 +257,22 @@ func (mon *Monitor) recoveryLoop(t *sim.Task) {
 		// No liveness precheck here: the verdict may already have
 		// removed the suspect from the live set while this member was
 		// still on its way to the round; ensureRound folds it in.
-		round := mon.Coord.ensureRound(alert, mon.CellID)
+		round, retry := mon.Coord.ensureRound(alert, mon.CellID)
 		if round == nil {
+			if retry {
+				// The coordinator is serving a round for a different
+				// suspect. The alert is not stale — this suspect still
+				// needs its own round once the active one drains — and
+				// the accuser will not re-broadcast (its alerting flag
+				// stays up while it serves the round it created), so
+				// requeue the alert and try again next tick.
+				t.Sleep(TickInterval)
+				if mon.dead {
+					return
+				}
+				mon.alerts.Push(alert)
+				continue
+			}
 			delete(mon.alerting, alert.Suspect)
 			continue
 		}
@@ -313,15 +327,27 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	proc := mon.proc()
 	b1Span := mon.Tracer.Begin(t.Now(), "recovery:barrier1")
 	proc.Use(t, Phase1Base)
+	if mon.dead {
+		// This member died during phase 1: it must not arrive at the
+		// barrier, whose party count no longer includes it — a dead
+		// member's arrival would open the barrier early and strand a
+		// live member in the next generation.
+		return
+	}
 	if mon.Hooks.Phase1 != nil {
 		mon.Hooks.Phase1(t)
 	}
 	r.b1Seen[mon.CellID] = true
 	r.barrier1.Await(t)
+	mon.Coord.noteBarrier1Open(r)
 	mon.Tracer.End(t.Now(), b1Span, "recovery:barrier1", 0)
 
 	b2Span := mon.Tracer.Begin(t.Now(), "recovery:barrier2")
 	proc.Use(t, Phase2Base)
+	if mon.dead {
+		// Died between the barriers (the v2 campaign's favorite spot).
+		return
+	}
 	var discarded, killed int64
 	if mon.Hooks.Phase2 != nil {
 		discarded = int64(mon.Hooks.Phase2(t, verdict))
@@ -332,6 +358,9 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	r.b2Seen[mon.CellID] = true
 	r.barrier2.Await(t)
 	mon.Tracer.End(t.Now(), b2Span, "recovery:barrier2", discarded+killed)
+	if mon.dead {
+		return
+	}
 
 	resumeSpan := mon.Tracer.Begin(t.Now(), "recovery:resume")
 	if mon.Hooks.Finish != nil {
@@ -343,10 +372,11 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	mon.Coord.noteRecoveryDone(r, mon.CellID, mon.M.Eng.Now())
 	mon.Tracer.End(t.Now(), resumeSpan, "recovery:resume", 0)
 
-	// The recovery master (lowest live cell) runs hardware diagnostics
-	// on the failed nodes and, when enabled, reboots and reintegrates
-	// them (§4.3).
-	if mon.Coord.masterOf() == mon.CellID {
+	// The round coordinator (the recovery master — lowest live member,
+	// reassigned deterministically if it died mid-round) runs hardware
+	// diagnostics on the failed nodes and, when enabled, reboots and
+	// reintegrates them (§4.3).
+	if r.coordinator == mon.CellID {
 		for _, c := range sortedCells(verdict) {
 			mon.runDiagnostics(t, c)
 		}

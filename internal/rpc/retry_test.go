@@ -1,0 +1,279 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+const (
+	procIdem ProcID = 50 + iota
+	procSleepy
+)
+
+// registerIdem installs an idempotent interrupt-level service on ep that
+// counts executions.
+func registerIdem(ep *Endpoint, executions *int) {
+	ep.Register(procIdem, "idem",
+		func(req *Request) (any, sim.Time, bool, error) {
+			*executions++
+			return "ok", 0, true, nil
+		}, nil, Idempotent())
+}
+
+func TestRetryRecoversDroppedRequest(t *testing.T) {
+	f := newFixture(t, 2)
+	executions := 0
+	registerIdem(f.eps[0], &executions) // client table: idempotence lookup
+	registerIdem(f.eps[1], &executions)
+	dropped := false
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		if meta, ok := ClassifySIPS(msg); ok && !meta.IsReply && !dropped {
+			dropped = true
+			return machine.MsgFaultDecision{Fault: machine.FaultDrop}
+		}
+		return machine.MsgFaultDecision{}
+	}
+	f.run(t, func(tk *sim.Task) {
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procIdem, nil, CallOpts{})
+		if err != nil || got != "ok" {
+			t.Errorf("call after drop: %v, %v", got, err)
+		}
+	})
+	if !dropped {
+		t.Fatal("fault hook never fired")
+	}
+	if n := f.eps[0].Metrics.Counter("rpc.retries").Value(); n != 1 {
+		t.Fatalf("rpc.retries = %d, want 1", n)
+	}
+	if executions != 1 {
+		t.Fatalf("service executed %d times", executions)
+	}
+}
+
+func TestDroppedReplyRetriesWithoutReExecution(t *testing.T) {
+	// The reply is lost, so the request WAS serviced: the retransmit must
+	// be answered from the server's dedup cache, not re-executed.
+	f := newFixture(t, 2)
+	executions := 0
+	registerIdem(f.eps[0], &executions)
+	registerIdem(f.eps[1], &executions)
+	dropped := false
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		if meta, ok := ClassifySIPS(msg); ok && meta.IsReply && !dropped {
+			dropped = true
+			return machine.MsgFaultDecision{Fault: machine.FaultDrop}
+		}
+		return machine.MsgFaultDecision{}
+	}
+	f.run(t, func(tk *sim.Task) {
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procIdem, nil, CallOpts{})
+		if err != nil || got != "ok" {
+			t.Errorf("call after reply drop: %v, %v", got, err)
+		}
+	})
+	if executions != 1 {
+		t.Fatalf("service executed %d times, want 1 (dedup answers the retransmit)", executions)
+	}
+	if n := f.eps[1].Metrics.Counter("rpc.dup_requests").Value(); n != 1 {
+		t.Fatalf("rpc.dup_requests = %d, want 1", n)
+	}
+}
+
+func TestDuplicatedRequestNotReExecuted(t *testing.T) {
+	// Wire duplication (not loss): the duplicate lands while or after the
+	// original is serviced; the handler must run once.
+	f := newFixture(t, 2)
+	executions := 0
+	registerIdem(f.eps[0], &executions)
+	registerIdem(f.eps[1], &executions)
+	duped := false
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		if meta, ok := ClassifySIPS(msg); ok && !meta.IsReply && !duped {
+			duped = true
+			return machine.MsgFaultDecision{Fault: machine.FaultDup}
+		}
+		return machine.MsgFaultDecision{}
+	}
+	f.run(t, func(tk *sim.Task) {
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procIdem, nil, CallOpts{})
+		if err != nil || got != "ok" {
+			t.Errorf("call under dup: %v, %v", got, err)
+		}
+	})
+	if executions != 1 {
+		t.Fatalf("service executed %d times, want 1", executions)
+	}
+	if n := f.eps[1].Metrics.Counter("rpc.dup_requests").Value(); n != 1 {
+		t.Fatalf("rpc.dup_requests = %d, want 1", n)
+	}
+}
+
+func TestDuplicatedReplyDiscarded(t *testing.T) {
+	f := newFixture(t, 2)
+	executions := 0
+	registerIdem(f.eps[0], &executions)
+	registerIdem(f.eps[1], &executions)
+	duped := false
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		if meta, ok := ClassifySIPS(msg); ok && meta.IsReply && !duped {
+			duped = true
+			return machine.MsgFaultDecision{Fault: machine.FaultDup}
+		}
+		return machine.MsgFaultDecision{}
+	}
+	f.run(t, func(tk *sim.Task) {
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procIdem, nil, CallOpts{})
+		if err != nil || got != "ok" {
+			t.Errorf("call under reply dup: %v, %v", got, err)
+		}
+	})
+	// The second copy arrives one wire latency after the first: either the
+	// call is still unwinding (dup_replies) or it already returned and the
+	// id is gone (stale_replies). Both mean "discarded, not delivered".
+	dup := f.eps[0].Metrics.Counter("rpc.dup_replies").Value()
+	stale := f.eps[0].Metrics.Counter("rpc.stale_replies").Value()
+	if dup+stale != 1 {
+		t.Fatalf("dup_replies=%d stale_replies=%d, want exactly one discard", dup, stale)
+	}
+	if executions != 1 {
+		t.Fatalf("service executed %d times", executions)
+	}
+}
+
+func TestNonIdempotentCallFailsFastOnDrop(t *testing.T) {
+	// Services not marked Idempotent keep the paper's behavior: no
+	// retransmission — a lost request is a timeout (a failure hint), never
+	// a silent double execution.
+	f := newFixture(t, 2)
+	executions := 0
+	f.eps[1].Register(procSleepy, "non-idem",
+		func(req *Request) (any, sim.Time, bool, error) {
+			executions++
+			return nil, 0, true, nil
+		}, nil)
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		if meta, ok := ClassifySIPS(msg); ok && !meta.IsReply {
+			return machine.MsgFaultDecision{Fault: machine.FaultDrop}
+		}
+		return machine.MsgFaultDecision{}
+	}
+	var elapsed sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procSleepy, nil,
+			CallOpts{Timeout: 2 * sim.Millisecond, NoHint: true})
+		elapsed = tk.Now() - start
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+	if n := f.eps[0].Metrics.Counter("rpc.retries").Value(); n != 0 {
+		t.Fatalf("non-idempotent call retried %d times", n)
+	}
+	if executions != 0 {
+		t.Fatalf("dropped request executed %d times", executions)
+	}
+	if elapsed < 2*sim.Millisecond {
+		t.Fatalf("failed before the timeout: %v", elapsed)
+	}
+}
+
+func TestRetryBackoffExhaustsToTimeout(t *testing.T) {
+	// Everything is dropped: the idempotent caller retransmits with
+	// backoff, then fails at exactly the original call budget — retries
+	// never accuse a server faster than a single-attempt call would.
+	f := newFixture(t, 2)
+	executions := 0
+	registerIdem(f.eps[0], &executions)
+	registerIdem(f.eps[1], &executions)
+	f.m.FaultHook = func(msg *machine.SIPSMsg) machine.MsgFaultDecision {
+		return machine.MsgFaultDecision{Fault: machine.FaultDrop}
+	}
+	const budget = 10 * sim.Millisecond
+	var elapsed sim.Time
+	hints := 0
+	f.eps[0].HintSink = func(cell int, reason string) { hints++ }
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procIdem, nil, CallOpts{Timeout: budget})
+		elapsed = tk.Now() - start
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+	if n := f.eps[0].Metrics.Counter("rpc.retries").Value(); n != RetryMaxAttempts-1 {
+		t.Fatalf("rpc.retries = %d, want %d", n, RetryMaxAttempts-1)
+	}
+	if elapsed < budget {
+		t.Fatalf("gave up after %v, before the %v budget", elapsed, budget)
+	}
+	if hints != 1 {
+		t.Fatalf("hints = %d, want 1 (one failure hint per failed call)", hints)
+	}
+}
+
+func TestLateReplyDiscardedAndIDsNeverReused(t *testing.T) {
+	// A reply that arrives after its call timed out must be discarded —
+	// and because call ids are never reused, it can never be delivered to
+	// a later call.
+	f := newFixture(t, 2)
+	f.eps[1].Register(procSleepy, "sleepy", nil,
+		func(t *sim.Task, req *Request) (any, error) {
+			t.Sleep(5 * sim.Millisecond)
+			return "late", nil
+		})
+	registerNull(f.eps[1])
+	f.run(t, func(tk *sim.Task) {
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procSleepy, nil,
+			CallOpts{Timeout: sim.Millisecond, NoHint: true})
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+		// A fresh call while the late reply is still in flight: it must
+		// complete with its own result, untouched by the late reply.
+		got, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procNull, nil, CallOpts{})
+		if err != nil || got != nil {
+			t.Errorf("fresh call: %v, %v", got, err)
+		}
+		tk.Sleep(10 * sim.Millisecond) // let the late reply land
+	})
+	if n := f.eps[0].Metrics.Counter("rpc.stale_replies").Value(); n != 1 {
+		t.Fatalf("rpc.stale_replies = %d, want 1", n)
+	}
+}
+
+func TestShutdownMidCallReturnsCleanError(t *testing.T) {
+	// The calling endpoint is shut down (cell panic) while a call is
+	// outstanding: the caller gets ErrShutdown immediately — not a 100 ms
+	// timeout accusing the healthy callee — and no failure hint is raised.
+	f := newFixture(t, 2)
+	f.eps[1].Register(procSleepy, "sleepy", nil,
+		func(t *sim.Task, req *Request) (any, error) {
+			t.Sleep(5 * sim.Millisecond)
+			return nil, nil
+		})
+	hints := 0
+	f.eps[0].HintSink = func(cell int, reason string) { hints++ }
+	f.e.At(sim.Millisecond, func() { f.eps[0].Shutdown() })
+	var elapsed sim.Time
+	f.run(t, func(tk *sim.Task) {
+		start := tk.Now()
+		_, err := f.eps[0].Call(tk, f.m.Procs[0], 1, procSleepy, nil, CallOpts{})
+		elapsed = tk.Now() - start
+		if !errors.Is(err, ErrShutdown) {
+			t.Errorf("err = %v, want ErrShutdown", err)
+		}
+	})
+	if elapsed > 2*sim.Millisecond {
+		t.Fatalf("shutdown abort took %v, want immediate", elapsed)
+	}
+	if hints != 0 {
+		t.Fatalf("shutdown raised %d failure hints against a healthy callee", hints)
+	}
+	if n := f.eps[0].Metrics.Counter("rpc.shutdown_aborts").Value(); n != 1 {
+		t.Fatalf("rpc.shutdown_aborts = %d", n)
+	}
+}

@@ -60,6 +60,23 @@ const (
 	// be accused of failure; clock monitoring provides the fast
 	// detection path (§4.3).
 	DefaultTimeout sim.Time = 100 * sim.Millisecond
+
+	// RetryBaseTimeout is the first per-attempt timeout for calls to
+	// idempotent services: the paper's SIPS is reliable, but under the
+	// v2 fault campaign messages can be dropped or corrupted in flight,
+	// and idempotent calls retransmit with exponential backoff (500 µs,
+	// 1 ms, 2 ms, then the remaining call budget) instead of failing.
+	RetryBaseTimeout sim.Time = 500 * sim.Microsecond
+	// RetryMaxAttempts bounds the retransmissions of one idempotent call
+	// (the original send plus three retries); the final attempt waits out
+	// the whole remaining call budget, so a slow-but-healthy server is
+	// never accused faster than before.
+	RetryMaxAttempts = 4
+
+	// dedupCap bounds the server-side duplicate-suppression table (keys
+	// are evicted FIFO); it needs only to cover the requests that can be
+	// retransmitted or duplicated within one call timeout.
+	dedupCap = 4096
 )
 
 // Errors returned by Call.
@@ -73,6 +90,9 @@ var (
 	ErrBadRequest = errors.New("rpc: request failed sanity check")
 	// ErrNoService means the callee has no handler for the proc number.
 	ErrNoService = errors.New("rpc: no such service")
+	// ErrShutdown means the calling endpoint was shut down (cell panic or
+	// forced stop) while the call was outstanding.
+	ErrShutdown = errors.New("rpc: endpoint shut down during call")
 )
 
 // ProcID names a remote procedure.
@@ -97,6 +117,7 @@ type Request struct {
 // reply is the wire representation of a completed call.
 type reply struct {
 	id     uint64
+	proc   ProcID // the serviced procedure (fault injectors classify by it)
 	result any
 	err    string
 }
@@ -111,9 +132,35 @@ type IntrHandler func(req *Request) (result any, cost sim.Time, handled bool, er
 type QueuedHandler func(t *sim.Task, req *Request) (any, error)
 
 type service struct {
-	name   string
-	intr   IntrHandler
-	queued QueuedHandler
+	name       string
+	intr       IntrHandler
+	queued     QueuedHandler
+	idempotent bool
+}
+
+// ServiceOption tunes a Register call.
+type ServiceOption func(*service)
+
+// Idempotent marks a service safe to retransmit: a lost request or reply
+// makes the client retry with backoff instead of failing the call. The
+// server-side dedup table suppresses re-execution of retransmits it has
+// already serviced, so marked services need only tolerate duplicate
+// *delivery*, not duplicate *execution*.
+func Idempotent() ServiceOption {
+	return func(s *service) { s.idempotent = true }
+}
+
+// dedupKey identifies a request for duplicate suppression: caller cell ids
+// never repeat a call id, so (from, id) is stable across retransmissions.
+type dedupKey struct {
+	from int
+	id   uint64
+}
+
+// dedupEntry is the server's memory of one serviced (or in-service)
+// request; rep is nil while the original is still being serviced.
+type dedupEntry struct {
+	rep *reply
 }
 
 // Endpoint is one cell's RPC engine: it owns the service table, the
@@ -134,14 +181,16 @@ type Endpoint struct {
 	// layer).
 	Tracer *trace.Tracer
 
-	services map[ProcID]*service
-	pending  map[uint64]*Request
-	queue    *sim.Queue
-	nextID   uint64
-	rrProc   int
-	poolSize int
-	dead     bool
-	histCall *stats.Histogram // end-to-end successful call latency (µs)
+	services  map[ProcID]*service
+	pending   map[uint64]*Request
+	queue     *sim.Queue
+	nextID    uint64
+	rrProc    int
+	poolSize  int
+	dead      bool
+	histCall  *stats.Histogram // end-to-end successful call latency (µs)
+	seen      map[dedupKey]*dedupEntry
+	seenOrder []dedupKey // FIFO eviction order for seen
 }
 
 // NewEndpoint creates the endpoint for cell cellID using the given
@@ -158,6 +207,7 @@ func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poo
 		pending:  map[uint64]*Request{},
 		queue:    &sim.Queue{},
 		poolSize: poolSize,
+		seen:     map[dedupKey]*dedupEntry{},
 	}
 	ep.histCall = ep.Metrics.Hist("rpc.call_us")
 	seen := map[int]bool{}
@@ -184,16 +234,41 @@ func Connect(eps ...*Endpoint) {
 
 // Register installs handlers for proc. Either handler may be nil (nil intr
 // means every request takes the queued path; nil queued means an unhandled
-// interrupt-level request fails).
-func (ep *Endpoint) Register(proc ProcID, name string, intr IntrHandler, queued QueuedHandler) {
-	ep.services[proc] = &service{name: name, intr: intr, queued: queued}
+// interrupt-level request fails). Options mark service properties — in
+// particular Idempotent, which enables client-side retransmission.
+func (ep *Endpoint) Register(proc ProcID, name string, intr IntrHandler, queued QueuedHandler, opts ...ServiceOption) {
+	svc := &service{name: name, intr: intr, queued: queued}
+	for _, o := range opts {
+		o(svc)
+	}
+	ep.services[proc] = svc
+}
+
+// IsIdempotent reports whether proc is registered idempotent here. Service
+// tables are registered symmetrically on every cell, so a client consults
+// its own table to decide whether a call to a peer may be retransmitted.
+func (ep *Endpoint) IsIdempotent(proc ProcID) bool {
+	svc, ok := ep.services[proc]
+	return ok && svc.idempotent
 }
 
 // Shutdown marks the endpoint dead (cell panic/failure): the server pool
-// stops and no further requests are serviced.
+// stops, no further requests are serviced, and every outstanding outgoing
+// call resolves immediately with ErrShutdown (a clean error, not a 100 ms
+// timeout accusing the healthy callee).
 func (ep *Endpoint) Shutdown() {
 	ep.dead = true
 	ep.queue.Close()
+	// Resolve outstanding calls in id order: the wakeups run tasks, so
+	// map iteration order must not leak into the simulation.
+	ids := make([]uint64, 0, len(ep.pending))
+	for id := range ep.pending {
+		ids = append(ids, id)
+	}
+	sort.SliceStable(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ep.pending[id].future.Set(nil, ErrShutdown)
+	}
 }
 
 // Dead reports whether the endpoint has been shut down.
@@ -279,20 +354,6 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	ep.pending[req.ID] = req
 	defer delete(ep.pending, req.ID)
 
-	dst := ep.targetProc(callee)
-	msg := &machine.SIPSMsg{To: dst.ID, Kind: machine.SIPSRequest, Size: machine.SIPSLineBytes, Payload: req}
-	sendStart := t.Now()
-	if err := ep.M.SendSIPS(t, proc, msg); err != nil {
-		ep.Metrics.Counter("rpc.send_failures").Inc()
-		ep.Tracer.EmitSpan(t.Now(), trace.RPCTimeout, req.Span, int64(to), int64(procID), "")
-		if !opts.NoHint && ep.HintSink != nil {
-			ep.HintSink(to, "rpc send bus error")
-		}
-		return nil, fmt.Errorf("%w to cell %d: %v", ErrSendFailed, to, err)
-	}
-	record(bd, "hardware message launch", t.Now()-sendStart)
-	ep.Metrics.Counter("rpc.calls").Inc()
-
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = ep.Timeout
@@ -300,20 +361,79 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	if timeout == 0 {
 		timeout = DefaultTimeout
 	}
+	deadline := callStart + timeout
 
-	// Spin for the reply; context-switch after SpinTimeout (§6).
-	spin := timeout
-	if spin > SpinTimeout {
-		spin = SpinTimeout
+	// Idempotent services retransmit with exponential backoff; all other
+	// calls get one attempt with the whole budget (the paper's behavior:
+	// SIPS is reliable, a timeout is a failure hint, §6).
+	attempts := 1
+	attemptBudget := timeout
+	if svc, okSvc := ep.services[procID]; okSvc && svc.idempotent && RetryBaseTimeout < timeout {
+		attempts = RetryMaxAttempts
+		attemptBudget = RetryBaseTimeout
 	}
-	val, _, ok2 := req.future.WaitTimeout(t, spin)
-	if !ok2 {
-		ep.Metrics.Counter("rpc.spin_timeouts").Inc()
-		proc.Use(t, ContextSwitch)
-		val, _, ok2 = req.future.WaitTimeout(t, timeout-spin)
-		if ok2 {
-			proc.Use(t, ContextSwitch) // switch back in
+
+	var val any
+	var ferr error
+	var ok2 bool
+	for attempt := 0; attempt < attempts; attempt++ {
+		dst := ep.targetProc(callee)
+		msg := &machine.SIPSMsg{To: dst.ID, Kind: machine.SIPSRequest, Size: machine.SIPSLineBytes, Payload: req}
+		sendStart := t.Now()
+		if err := ep.M.SendSIPS(t, proc, msg); err != nil {
+			ep.Metrics.Counter("rpc.send_failures").Inc()
+			ep.Tracer.EmitSpan(t.Now(), trace.RPCTimeout, req.Span, int64(to), int64(procID), "")
+			if !opts.NoHint && ep.HintSink != nil {
+				ep.HintSink(to, "rpc send bus error")
+			}
+			return nil, fmt.Errorf("%w to cell %d: %v", ErrSendFailed, to, err)
 		}
+		if attempt == 0 {
+			record(bd, "hardware message launch", t.Now()-sendStart)
+			ep.Metrics.Counter("rpc.calls").Inc()
+		}
+
+		// The last attempt (or the only one) waits out the remaining
+		// call budget, so retries never accuse a slow-but-healthy
+		// server faster than a single-attempt call would.
+		budget := attemptBudget
+		if remaining := deadline - t.Now(); attempt == attempts-1 || budget > remaining {
+			budget = remaining
+		}
+		if budget <= 0 {
+			break
+		}
+
+		// Spin for the reply; context-switch after SpinTimeout (§6).
+		spin := budget
+		if spin > SpinTimeout {
+			spin = SpinTimeout
+		}
+		val, ferr, ok2 = req.future.WaitTimeout(t, spin)
+		if !ok2 {
+			ep.Metrics.Counter("rpc.spin_timeouts").Inc()
+			proc.Use(t, ContextSwitch)
+			val, ferr, ok2 = req.future.WaitTimeout(t, budget-spin)
+			if ok2 {
+				proc.Use(t, ContextSwitch) // switch back in
+			}
+		}
+		if ok2 || t.Now() >= deadline {
+			break
+		}
+		// Lost on the wire (or the server is slow): retransmit. The
+		// server's dedup table suppresses re-execution, so the retry is
+		// safe even when the original request was delivered.
+		ep.Metrics.Counter("rpc.retries").Inc()
+		ep.Tracer.EmitSpan(t.Now(), trace.RPCRetry, req.Span, int64(to), int64(attempt+1), "")
+		attemptBudget *= 2
+	}
+	if ok2 && ferr != nil {
+		// The endpoint was shut down under us (cell panic): surface the
+		// clean local error — the callee is not a failure suspect.
+		ep.Metrics.Counter("rpc.shutdown_aborts").Inc()
+		ep.Tracer.EmitSpan(t.Now(), trace.RPCTimeout, req.Span, int64(to), int64(procID), "shutdown")
+		return nil, fmt.Errorf("%w: cell %d proc %d", ErrShutdown, to, procID)
 	}
 	if !ok2 {
 		ep.Metrics.Counter("rpc.timeouts").Inc()
@@ -352,8 +472,41 @@ func (ep *Endpoint) onSIPS(msg *machine.SIPSMsg) {
 	case machine.SIPSReply:
 		rep := msg.Payload.(*reply)
 		if req, ok := ep.pending[rep.id]; ok {
+			if req.future.Ready() {
+				// A wire-duplicated reply for a call still unwinding:
+				// the first copy already resolved the future.
+				ep.Metrics.Counter("rpc.dup_replies").Inc()
+				return
+			}
 			req.future.Set(rep, nil)
+		} else {
+			// The caller already timed out (or this is a duplicate of a
+			// reply that landed): call ids are never reused, so a late
+			// reply can only be discarded, never delivered to a later
+			// call.
+			ep.Metrics.Counter("rpc.stale_replies").Inc()
 		}
+	}
+}
+
+// remember inserts a fresh dedup entry for key, evicting the oldest entry
+// once the table is full.
+func (ep *Endpoint) remember(key dedupKey) *dedupEntry {
+	if len(ep.seenOrder) >= dedupCap {
+		delete(ep.seen, ep.seenOrder[0])
+		ep.seenOrder = ep.seenOrder[1:]
+	}
+	ent := &dedupEntry{}
+	ep.seen[key] = ent
+	ep.seenOrder = append(ep.seenOrder, key)
+	return ent
+}
+
+// noteServed caches the reply for a serviced request so a retransmit can be
+// answered without re-execution.
+func (ep *Endpoint) noteServed(req *Request, rep *reply) {
+	if ent, ok := ep.seen[dedupKey{req.From, req.ID}]; ok {
+		ent.rep = rep
 	}
 }
 
@@ -369,6 +522,22 @@ func (ep *Endpoint) handleRequest(msg *machine.SIPSMsg) {
 	if req.DataBytes > 0 {
 		base += ExtraHWReal
 	}
+
+	// Duplicate suppression: a retransmitted (or wire-duplicated) request
+	// that was already serviced is answered from the cached reply without
+	// re-executing the handler; one still in service is dropped — the
+	// original's reply will resolve the caller's future, since the call
+	// id is unchanged across retransmissions.
+	key := dedupKey{req.From, req.ID}
+	if ent, dup := ep.seen[key]; dup {
+		ep.Metrics.Counter("rpc.dup_requests").Inc()
+		if ent.rep != nil {
+			rep := ent.rep
+			proc.Interrupt(base, func() { ep.resend(proc, req, rep) })
+		}
+		return
+	}
+	ep.remember(key)
 
 	if svc == nil {
 		proc.Interrupt(base, func() {
@@ -411,16 +580,34 @@ func (ep *Endpoint) reply(proc *machine.Processor, req *Request, result any, err
 	}
 	record(req.bd, "server service", serviceCost)
 	record(req.bd, "server reply", ServerReply)
-	rep := &reply{id: req.ID}
+	rep := &reply{id: req.ID, proc: req.Proc}
 	rep.result = result
 	if err != nil {
 		rep.err = err.Error()
 	}
+	ep.noteServed(req, rep)
 	caller := ep.Peers[req.From]
 	if caller == nil {
 		return
 	}
 	proc.Interrupt(cost, func() {
+		ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
+		dst := ep.targetProc(caller)
+		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
+			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
+		})
+	})
+}
+
+// resend answers a retransmitted request from the dedup cache: reply
+// construction and launch costs are paid again, the service itself is not
+// re-executed.
+func (ep *Endpoint) resend(proc *machine.Processor, req *Request, rep *reply) {
+	caller := ep.Peers[req.From]
+	if caller == nil {
+		return
+	}
+	proc.Interrupt(ServerReply, func() {
 		ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
 		dst := ep.targetProc(caller)
 		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
@@ -466,10 +653,11 @@ func (ep *Endpoint) serverLoop(t *sim.Task) {
 			return
 		}
 		// Completion RPC back to the client.
-		rep := &reply{id: req.ID, result: result}
+		rep := &reply{id: req.ID, proc: req.Proc, result: result}
 		if err != nil {
 			rep.err = err.Error()
 		}
+		ep.noteServed(req, rep)
 		caller := ep.Peers[req.From]
 		if caller == nil {
 			continue
@@ -491,4 +679,26 @@ func (ep *Endpoint) serverProc() *machine.Processor {
 		}
 	}
 	return nil
+}
+
+// MsgMeta describes one RPC message observed on the SIPS wire — the view a
+// fault injector needs to choose targets by service rather than blindly.
+type MsgMeta struct {
+	ID       uint64
+	From, To int // cell ids (zero for replies, which carry no routing echo)
+	Proc     ProcID
+	IsReply  bool
+}
+
+// ClassifySIPS decodes the RPC payload of a SIPS message, reporting false
+// for non-RPC traffic. Fault injectors use it to restrict drop/corrupt
+// faults to traffic whose loss the RPC layer can absorb (see Idempotent).
+func ClassifySIPS(msg *machine.SIPSMsg) (MsgMeta, bool) {
+	switch p := msg.Payload.(type) {
+	case *Request:
+		return MsgMeta{ID: p.ID, From: p.From, To: p.To, Proc: p.Proc}, true
+	case *reply:
+		return MsgMeta{ID: p.id, Proc: p.proc, IsReply: true}, true
+	}
+	return MsgMeta{}, false
 }

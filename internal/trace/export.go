@@ -77,6 +77,18 @@ func instantName(e Event) string {
 		return "rpc:reply"
 	case RPCTimeout:
 		return "rpc:timeout"
+	case MsgDrop:
+		return "msg:drop"
+	case MsgDup:
+		return "msg:dup"
+	case MsgCorrupt:
+		return "msg:corrupt"
+	case MsgDelay:
+		return "msg:delay"
+	case RPCRetry:
+		return "rpc:retry"
+	case RoundRestart:
+		return "round:restart"
 	case FaultEnd:
 		return "vm:fault-end"
 	case PhaseEnd:
@@ -116,9 +128,18 @@ func chromeArgs(e Event) map[string]any {
 	case FirewallGrant, FirewallRevoke:
 		args["page"] = e.A
 		args["bits"] = fmt.Sprintf("%#x", uint64(e.B))
-	case SIPS:
+	case SIPS, MsgDrop, MsgDup, MsgCorrupt:
 		args["to_proc"] = e.A
 		args["queue"] = e.B
+	case MsgDelay:
+		args["to_proc"] = e.A
+		args["extra_ns"] = e.B
+	case RPCRetry:
+		args["peer"] = e.A
+		args["attempt"] = e.B
+	case RoundRestart:
+		args["dead_coordinator"] = e.A
+		args["new_coordinator"] = e.B
 	case PhaseEnd:
 		if e.A != 0 {
 			args["count"] = e.A

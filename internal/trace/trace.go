@@ -77,6 +77,26 @@ const (
 	// WaxHint is a Wax policy hint arriving at a cell (S = hint name,
 	// A = target, B = 1 if applied).
 	WaxHint
+	// MsgDrop is an injected message loss on the SIPS wire
+	// (A = destination processor, B = queue kind).
+	MsgDrop
+	// MsgDup is an injected message duplication (A = destination
+	// processor, B = queue kind).
+	MsgDup
+	// MsgCorrupt is a payload-checksum mismatch detected at delivery —
+	// injected corruption caught by the hardware check and discarded
+	// (A = destination processor, B = queue kind).
+	MsgCorrupt
+	// MsgDelay is an injected extra wire delay (A = destination
+	// processor, B = extra delay in ns).
+	MsgDelay
+	// RPCRetry is a client retransmitting an idempotent call after a
+	// per-attempt timeout (A = callee cell, B = attempt number).
+	RPCRetry
+	// RoundRestart is a recovery round deterministically restarting
+	// after its coordinator died mid-round (A = dead coordinator,
+	// B = new coordinator).
+	RoundRestart
 
 	numKinds
 )
@@ -122,6 +142,18 @@ func (k Kind) String() string {
 		return "PHASE-END"
 	case WaxHint:
 		return "WAX-HINT"
+	case MsgDrop:
+		return "MSG-DROP"
+	case MsgDup:
+		return "MSG-DUP"
+	case MsgCorrupt:
+		return "MSG-CORRUPT"
+	case MsgDelay:
+		return "MSG-DELAY"
+	case RPCRetry:
+		return "RPC-RETRY"
+	case RoundRestart:
+		return "ROUND-RESTART"
 	default:
 		return "INFO"
 	}
@@ -133,7 +165,11 @@ func (k Kind) String() string {
 // cannot evict the recovery timeline.
 func (k Kind) control() bool {
 	switch k {
-	case Hint, Alert, Vote, Panic, Kill, Discard, PhaseBegin, PhaseEnd, WaxHint, Info:
+	case Hint, Alert, Vote, Panic, Kill, Discard, PhaseBegin, PhaseEnd, WaxHint, Info,
+		MsgDrop, MsgDup, MsgCorrupt, RPCRetry, RoundRestart:
+		// Injected message faults, retransmissions, and round restarts
+		// are rare and forensically decisive: they live in the control
+		// ring so a busy workload cannot evict them.
 		return true
 	}
 	return false
@@ -202,6 +238,18 @@ func (e Event) Detail() string {
 		return e.S + " end"
 	case WaxHint:
 		return fmt.Sprintf("wax hint %s applied=%v", e.S, e.B != 0)
+	case MsgDrop:
+		return fmt.Sprintf("injected drop of send to proc %d (queue %d)", e.A, e.B)
+	case MsgDup:
+		return fmt.Sprintf("injected duplicate of send to proc %d (queue %d)", e.A, e.B)
+	case MsgCorrupt:
+		return fmt.Sprintf("checksum mismatch on delivery to proc %d (queue %d): discarded", e.A, e.B)
+	case MsgDelay:
+		return fmt.Sprintf("injected %dns extra delay to proc %d", e.B, e.A)
+	case RPCRetry:
+		return fmt.Sprintf("retry attempt %d to cell %d", e.B, e.A)
+	case RoundRestart:
+		return fmt.Sprintf("round coordinator %d died; restarted under %d", e.A, e.B)
 	default:
 		return e.S
 	}

@@ -63,9 +63,8 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	h0, m0, i0 := snapshotFaults(h)
 
 	cells := len(h.Cells)
-	srcHome := 0        // the shared source tree's cell
-	tmp := h.Cfg.Mounts // /tmp per config (last cell by default)
-	_ = tmp
+	srcHome := mountHome(h, "/usr") // the shared source tree's cell
+	drv := driverCell(h)            // make driver: lowest live cell
 
 	// Build the shared tree: sources, headers, compiler text. Warm the
 	// data home's cache (the paper warms the file cache before runs).
@@ -96,9 +95,10 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 		return res
 	}
 
-	// The make coordinator runs on cell 0 and keeps Parallel jobs in
-	// flight, spreading them round-robin across cells (the single-system
-	// image's load balancing).
+	// The make coordinator runs on the driver cell (the lowest live cell,
+	// cell 0 on a healthy hive) and keeps Parallel jobs in flight,
+	// spreading them round-robin across cells (the single-system image's
+	// load balancing).
 	ccKey := mustKey(h, srcHome, "/usr/bin/cc")
 	start := h.Eng.Now()
 	res.Started = start
@@ -206,7 +206,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	}
 
 	var makeProc *proc.Process
-	makeProc = h.Cells[0].Procs.Spawn("make", 101, func(p *proc.Process, t *sim.Task) {
+	makeProc = h.Cells[drv].Procs.Spawn("make", 101, func(p *proc.Process, t *sim.Task) {
 		inFlight := 0
 		next := 0
 		pids := map[int]int{} // job -> pid (on job's cell)
@@ -218,7 +218,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 			for i := 0; i < cells && h.Cells[target].Failed(); i++ {
 				target = (target + 1) % cells
 			}
-			pid, err := h.Cells[0].Procs.Fork(t, p, target, fmt.Sprintf("cc%d", job), jobBody(job))
+			pid, err := h.Cells[drv].Procs.Fork(t, p, target, fmt.Sprintf("cc%d", job), jobBody(job))
 			if err != nil {
 				res.AddError("fork job %d: %v", job, err)
 				return
@@ -252,7 +252,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 					jobsDone++
 				}
 			}
-			if h.Cells[0].Failed() {
+			if h.Cells[drv].Failed() {
 				return
 			}
 		}
@@ -282,10 +282,25 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 }
 
 // tmpHome returns the cell serving /tmp.
-func tmpHome(h *core.Hive) int {
+func tmpHome(h *core.Hive) int { return mountHome(h, "/tmp") }
+
+// mountHome returns the cell serving a mount prefix (cell 0 by default).
+func mountHome(h *core.Hive, prefix string) int {
 	for _, m := range h.Cfg.Mounts {
-		if m.Prefix == "/tmp" {
+		if m.Prefix == prefix {
 			return m.Cell
+		}
+	}
+	return 0
+}
+
+// driverCell returns the lowest live cell — where workload drivers run.
+// On a healthy hive this is cell 0; post-fault checks must not drive from
+// a dead cell.
+func driverCell(h *core.Hive) int {
+	for _, c := range h.Cells {
+		if !c.Failed() {
+			return c.ID
 		}
 	}
 	return 0
