@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check trace-check drill-smoke race bench bench-engine bench-report clean
+.PHONY: all build test lint check trace-check drill-smoke race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -62,6 +62,15 @@ bench-engine:
 # to refresh it after perf-relevant changes.
 bench-report:
 	$(GO) run ./cmd/hivebench -quick -json -o BENCH_hive.json
+
+# bench-gate is the CI perf-regression gate: regenerate the quick report
+# and fail if any deterministic metric drifts more than 5% from the
+# committed BENCH_hive.json. Wall-clock timings are ignored. After an
+# intentional perf change, refresh the baseline with `make bench-report`
+# and commit it.
+bench-gate:
+	$(GO) run ./cmd/hivebench -quick -json -o /tmp/bench-candidate.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_hive.json -candidate /tmp/bench-candidate.json
 
 clean:
 	@:

@@ -1,0 +1,57 @@
+// Command benchgate compares a freshly generated hivebench report against
+// the committed baseline and exits nonzero on any metric drift beyond the
+// tolerance. It is the CI perf-regression gate:
+//
+//	go run ./cmd/hivebench -quick -json -o /tmp/bench.json
+//	go run ./cmd/benchgate -baseline BENCH_hive.json -candidate /tmp/bench.json
+//
+// Only deterministic metrics are compared; wall-clock timings are ignored.
+// After an intentional performance change, refresh the baseline with
+// `make bench-report` and commit the new BENCH_hive.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hive.json", "committed baseline report")
+	candidate := flag.String("candidate", "", "freshly generated report to check")
+	tol := flag.Float64("tol", 0.05, "relative drift tolerance (0.05 = 5%)")
+	flag.Parse()
+
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	base, err := benchcmp.Load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cand, err := benchcmp.Load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	res := benchcmp.Compare(base, cand, *tol)
+	for _, w := range res.Warnings {
+		fmt.Println("warning:", w)
+	}
+	if !res.OK() {
+		for _, f := range res.Failures {
+			fmt.Println("FAIL:", f)
+		}
+		fmt.Printf("benchgate: %d of %d metrics regressed beyond ±%.1f%% "+
+			"(intentional? refresh with `make bench-report` and commit)\n",
+			len(res.Failures), res.Compared, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d metrics within ±%.1f%% of %s\n",
+		res.Compared, *tol*100, *baseline)
+}

@@ -9,6 +9,7 @@
 //
 //	faultdrill            # the full campaign, paper rows + extensions
 //	faultdrill -trials 3  # 3 trials per scenario
+//	faultdrill -cells 16  # campaign on a 16-cell hive (default 4, the paper's)
 //	faultdrill -j 8       # fan trials across 8 workers (same results at any -j)
 //	faultdrill -json -o drill.json       # machine-readable campaign report
 //	faultdrill -scenario 4 -trial 2 -v   # one specific trial, verbose
@@ -25,6 +26,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/harness"
 	"repro/internal/parallel"
@@ -38,6 +40,7 @@ type campaignReport struct {
 	GOMAXPROCS        int                        `json:"gomaxprocs"`
 	Jobs              int                        `json:"jobs"`
 	TrialsPerScenario int                        `json:"trials_per_scenario"` // 0 = the paper's counts
+	Cells             int                        `json:"cells"`
 	Scenarios         []*faultinject.CampaignRow `json:"scenarios"`
 	AllOK             bool                       `json:"all_ok"`
 	TotalWallMs       float64                    `json:"total_wall_ms"`
@@ -46,6 +49,7 @@ type campaignReport struct {
 func main() {
 	var (
 		trials    = flag.Int("trials", 0, "trials per scenario (0 = the default campaign counts)")
+		cells     = flag.Int("cells", 4, "hive cell count for the campaign (4 = the paper's machine)")
 		scenario  = flag.Int("scenario", -1, fmt.Sprintf("run only this scenario (0-%d)", faultinject.NumScenarios-1))
 		trial     = flag.Int("trial", 0, "trial index for -scenario")
 		verbose   = flag.Bool("v", false, "per-trial detail")
@@ -60,6 +64,11 @@ func main() {
 
 	parallel.SetDefaultWorkers(*jobs)
 
+	if *cells < 4 || *cells > core.MaxCells {
+		fmt.Fprintf(os.Stderr, "faultdrill: -cells %d: campaign needs 4..%d cells\n", *cells, core.MaxCells)
+		os.Exit(2)
+	}
+
 	if *sweep {
 		per := (*points + faultinject.NumScenarios - 1) / faultinject.NumScenarios
 		rep := faultinject.Sweep(faultinject.SweepOpts{TrialsPer: per})
@@ -72,7 +81,7 @@ func main() {
 
 	if *scenario >= 0 {
 		s := faultinject.Scenario(*scenario)
-		opts := faultinject.TrialOpts{}
+		opts := faultinject.TrialOpts{Cells: *cells}
 		if *tracePath != "" {
 			opts.KeepTrace = true
 			opts.TraceCap = 1 << 16
@@ -109,7 +118,7 @@ func main() {
 		if *trials > 0 {
 			n = *trials
 		}
-		row := faultinject.RunScenario(s, n)
+		row := faultinject.RunScenarioCellsWith(parallel.Default(), s, n, *cells)
 		rows = append(rows, row)
 		if !row.AllOK {
 			allOK = false
@@ -130,6 +139,7 @@ func main() {
 			GOMAXPROCS:        runtime.GOMAXPROCS(0),
 			Jobs:              parallel.Default().Workers(),
 			TrialsPerScenario: *trials,
+			Cells:             *cells,
 			Scenarios:         rows,
 			AllOK:             allOK,
 			TotalWallMs:       float64(time.Since(start).Microseconds()) / 1000,

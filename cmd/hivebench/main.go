@@ -11,8 +11,8 @@
 //	hivebench -trace out.json # Perfetto trace of a fault-injection trial
 //	hivebench -only t72       # one experiment: careful41, rpc6, t52,
 //	                          # t72, t73, t74, fw42, traffic52, t81,
-//	                          # scalability, agreement, cowlookup,
-//	                          # sipsipi, fwgran, ccnow
+//	                          # scale, scalability, agreement,
+//	                          # cowlookup, sipsipi, fwgran, ccnow
 //
 // Experiments are deterministic simulations: the tables are byte-identical
 // at every -j. The JSON report additionally records wall-clock time per
@@ -287,6 +287,33 @@ func main() {
 		tb.AddRow("SIPS (short interprocessor send)", fmt.Sprint(hw.SIPS))
 		tb.AddRow("memory cutoff (panic isolation)", fmt.Sprint(hw.Cutoff))
 		c.println(tb)
+	})
+
+	run("scale", func(c *runCtx) {
+		trials := 2
+		if *quick {
+			trials = 1
+		}
+		rows := harness.RunScale([]int{8, 16, 32}, trials)
+		allContained := 1.0
+		for _, r := range rows {
+			key := fmt.Sprintf("%dc", r.Cells)
+			c.metric("pmake_s_"+key, r.PmakeSec)
+			c.metric("ocean_s_"+key, r.OceanSec)
+			c.metric("rpc_calls_"+key, float64(r.RPCCalls))
+			c.metric("rpc_per_s_"+key, r.RPCPerSec)
+			c.metric("events_"+key, float64(r.Events))
+			c.metric("events_per_s_"+key, r.EventsPerSec)
+			c.metric("detect_ms_"+key, r.DetectMs)
+			c.metric("recovery_ms_"+key, r.RecoveryMs)
+			if !r.Contained {
+				allContained = 0
+			}
+		}
+		c.metric("all_contained", allContained)
+		c.println(harness.FormatScale(rows))
+		c.println("recovery cost grows with round membership; containment must hold at every size.")
+		c.println()
 	})
 
 	run("scalability", func(c *runCtx) {

@@ -99,9 +99,27 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Boot builds and starts a Hive.
 func Boot(cfg Config) *Hive { return core.Boot(cfg) }
 
-// BootCells boots the paper's machine partitioned into 1, 2, or 4 cells
-// with the standard mounts.
+// MaxCells is the largest supported cell count (64): the FLASH firewall
+// tracks write permission as a 64-bit processor vector per page, so the
+// containment hardware can distinguish at most 64 single-node cells.
+const MaxCells = core.MaxCells
+
+// BootCells boots a machine partitioned into any supported cell count
+// (1 up to MaxCells) with the standard mounts. Counts dividing the paper's
+// 4-node evaluation machine (1, 2, 4) boot exactly that machine; larger
+// counts scale to one node per cell. Panics on unsupported counts — use
+// ValidateCells to check first.
 func BootCells(cells int) *Hive { return workload.BootHive(cells) }
+
+// ValidateCells reports whether BootCells would accept the count: nil for
+// 1..MaxCells, an error describing the violated constraint otherwise.
+func ValidateCells(cells int) error {
+	nodes := cells
+	if cells >= 1 && cells <= 4 && 4%cells == 0 {
+		nodes = 4 // counts dividing the evaluation machine keep its 4 nodes
+	}
+	return core.ValidateCells(cells, nodes)
+}
 
 // BootIRIX boots the IRIX 5.2 baseline: the same kernel code as a single
 // cell with the Hive protection hardware off.

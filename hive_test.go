@@ -38,6 +38,35 @@ func TestPublicWorkloadSmall(t *testing.T) {
 	}
 }
 
+func TestValidateCellsRejectsUnsupportedCounts(t *testing.T) {
+	for _, cells := range []int{-1, 0, MaxCells + 1, 1000} {
+		if err := ValidateCells(cells); err == nil {
+			t.Fatalf("ValidateCells(%d) = nil, want error", cells)
+		}
+	}
+	for _, cells := range []int{1, 2, 3, 4, 8, 16, 32, MaxCells} {
+		if err := ValidateCells(cells); err != nil {
+			t.Fatalf("ValidateCells(%d) = %v, want nil", cells, err)
+		}
+	}
+}
+
+func TestBootCellsPanicsOnUnsupportedCounts(t *testing.T) {
+	// BootCells panics where ValidateCells errors: an unsupported count is
+	// a programming mistake, not a runtime condition.
+	for _, cells := range []int{0, MaxCells + 1} {
+		cells := cells
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BootCells(%d) did not panic", cells)
+				}
+			}()
+			BootCells(cells)
+		}()
+	}
+}
+
 func TestPublicFaultInjection(t *testing.T) {
 	tr := RunTrial(NodeFailRandom, 3)
 	if !tr.OK() {

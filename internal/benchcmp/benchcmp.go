@@ -1,0 +1,149 @@
+// Package benchcmp compares two hivebench -json reports and flags
+// performance regressions. It is the library behind `make bench-gate`:
+// the committed BENCH_hive.json is the baseline, a freshly generated
+// report is the candidate, and any deterministic metric drifting beyond
+// the tolerance fails the gate.
+//
+// Only the experiments' metrics participate: they derive from virtual
+// time and event counts, so on a healthy tree they are byte-identical
+// run to run and any drift is a real behavior change. Wall-clock fields
+// (wall_ms, total_wall_ms) vary with the host and are ignored.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Report is the subset of the hivebench -json document the gate reads.
+type Report struct {
+	Name        string       `json:"name"`
+	Quick       bool         `json:"quick"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment is one experiment's entry in a report.
+type Experiment struct {
+	ID      string             `json:"id"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Load reads and parses a report file.
+func Load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchcmp: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Result is the outcome of one comparison. Failures make the gate exit
+// nonzero; warnings (new experiments or metrics not in the baseline) are
+// informational — they mean the baseline needs a refresh, not that the
+// tree regressed.
+type Result struct {
+	Failures []string
+	Warnings []string
+	Compared int // metrics checked against the baseline
+}
+
+// OK reports whether the candidate passed the gate.
+func (r *Result) OK() bool { return len(r.Failures) == 0 }
+
+// Compare checks the candidate report against the baseline. A metric
+// fails when its relative drift exceeds tol (e.g. 0.05 for the 5% gate);
+// a baseline metric of exactly zero fails on any nonzero candidate
+// value, since relative drift is undefined there. Experiments or metrics
+// present in the baseline but missing from the candidate fail (the bench
+// lost coverage); ones only in the candidate warn. Reports generated at
+// different -quick settings are not comparable and fail outright.
+func Compare(baseline, candidate *Report, tol float64) *Result {
+	res := &Result{}
+	if baseline.Quick != candidate.Quick {
+		res.Failures = append(res.Failures, fmt.Sprintf(
+			"quick-mode mismatch: baseline quick=%v, candidate quick=%v (regenerate with matching flags)",
+			baseline.Quick, candidate.Quick))
+		return res
+	}
+
+	candExps := make(map[string]Experiment, len(candidate.Experiments))
+	for _, e := range candidate.Experiments {
+		candExps[e.ID] = e
+	}
+	baseIDs := make(map[string]bool, len(baseline.Experiments))
+
+	for _, be := range baseline.Experiments {
+		baseIDs[be.ID] = true
+		ce, ok := candExps[be.ID]
+		if !ok {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"experiment %q: in baseline but missing from candidate", be.ID))
+			continue
+		}
+		for _, name := range sortedKeys(be.Metrics) {
+			base := be.Metrics[name]
+			cand, ok := ce.Metrics[name]
+			if !ok {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s/%s: in baseline but missing from candidate", be.ID, name))
+				continue
+			}
+			res.Compared++
+			if drift, bad := exceeds(base, cand, tol); bad {
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"%s/%s: %g -> %g (%+.1f%%, tolerance ±%.1f%%)",
+					be.ID, name, base, cand, drift*100, tol*100))
+			}
+		}
+		for _, name := range sortedKeys(ce.Metrics) {
+			if _, ok := be.Metrics[name]; !ok {
+				res.Warnings = append(res.Warnings, fmt.Sprintf(
+					"%s/%s: new metric not in baseline (refresh with `make bench-report`)", be.ID, name))
+			}
+		}
+	}
+	for _, ce := range candidate.Experiments {
+		if !baseIDs[ce.ID] {
+			res.Warnings = append(res.Warnings, fmt.Sprintf(
+				"experiment %q: new, not in baseline (refresh with `make bench-report`)", ce.ID))
+		}
+	}
+	return res
+}
+
+// exceeds returns the signed relative drift and whether it breaks tol.
+func exceeds(base, cand, tol float64) (float64, bool) {
+	if base == cand {
+		return 0, false
+	}
+	if base == 0 {
+		return math.Inf(sign(cand)), true
+	}
+	drift := (cand - base) / math.Abs(base)
+	return drift, math.Abs(drift) > tol
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// sortedKeys returns the map's keys in sorted order so failure lists are
+// stable across runs.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

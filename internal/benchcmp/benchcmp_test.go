@@ -1,0 +1,145 @@
+package benchcmp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(quick bool, exps ...Experiment) *Report {
+	return &Report{Name: "hivebench", Quick: quick, Experiments: exps}
+}
+
+func exp(id string, kv ...any) Experiment {
+	m := map[string]float64{}
+	for i := 0; i < len(kv); i += 2 {
+		m[kv[i].(string)] = kv[i+1].(float64)
+	}
+	return Experiment{ID: id, Metrics: m}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	base := report(true, exp("t52", "local_us", 6.9, "remote_us", 50.7))
+	res := Compare(base, base, 0.05)
+	if !res.OK() || res.Compared != 2 {
+		t.Fatalf("identical reports should pass: %+v", res)
+	}
+}
+
+func TestRegressionBeyondToleranceFails(t *testing.T) {
+	base := report(true, exp("t52", "remote_us", 50.7))
+	cand := report(true, exp("t52", "remote_us", 50.7*1.06)) // +6% > 5% gate
+	res := Compare(base, cand, 0.05)
+	if res.OK() {
+		t.Fatal("6% regression passed the 5% gate")
+	}
+	if !strings.Contains(res.Failures[0], "t52/remote_us") {
+		t.Fatalf("failure should name the metric: %q", res.Failures[0])
+	}
+}
+
+func TestDriftWithinTolerancePasses(t *testing.T) {
+	base := report(true, exp("t52", "remote_us", 50.7))
+	cand := report(true, exp("t52", "remote_us", 50.7*1.04)) // +4% < 5%
+	if res := Compare(base, cand, 0.05); !res.OK() {
+		t.Fatalf("4%% drift failed the 5%% gate: %v", res.Failures)
+	}
+}
+
+func TestImprovementBeyondToleranceAlsoFails(t *testing.T) {
+	// A large "improvement" in a deterministic metric is still an
+	// unexplained behavior change; the baseline must be refreshed
+	// deliberately, not drift silently.
+	base := report(true, exp("t74", "s1_avg_detect_ms", 16.0))
+	cand := report(true, exp("t74", "s1_avg_detect_ms", 10.0))
+	if res := Compare(base, cand, 0.05); res.OK() {
+		t.Fatal("37% improvement should still trip the drift gate")
+	}
+}
+
+func TestZeroBaselineFailsOnNonzeroCandidate(t *testing.T) {
+	base := report(true, exp("t74", "failures", 0.0))
+	cand := report(true, exp("t74", "failures", 1.0))
+	if res := Compare(base, cand, 0.05); res.OK() {
+		t.Fatal("0 -> 1 change passed")
+	}
+	if res := Compare(base, base, 0.05); !res.OK() {
+		t.Fatal("0 -> 0 should pass")
+	}
+}
+
+func TestMissingExperimentFails(t *testing.T) {
+	base := report(true, exp("t52", "local_us", 6.9), exp("rpc6", "null_us", 7.2))
+	cand := report(true, exp("t52", "local_us", 6.9))
+	res := Compare(base, cand, 0.05)
+	if res.OK() {
+		t.Fatal("dropped experiment passed")
+	}
+	if !strings.Contains(res.Failures[0], `"rpc6"`) {
+		t.Fatalf("failure should name the experiment: %q", res.Failures[0])
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	base := report(true, exp("t52", "local_us", 6.9, "remote_us", 50.7))
+	cand := report(true, exp("t52", "local_us", 6.9))
+	if res := Compare(base, cand, 0.05); res.OK() {
+		t.Fatal("dropped metric passed")
+	}
+}
+
+func TestNewExperimentAndMetricWarn(t *testing.T) {
+	base := report(true, exp("t52", "local_us", 6.9))
+	cand := report(true, exp("t52", "local_us", 6.9, "extra_us", 1.0), exp("scale", "events_8c", 100.0))
+	res := Compare(base, cand, 0.05)
+	if !res.OK() {
+		t.Fatalf("additions should warn, not fail: %v", res.Failures)
+	}
+	if len(res.Warnings) != 2 {
+		t.Fatalf("want 2 warnings, got %v", res.Warnings)
+	}
+}
+
+func TestQuickMismatchFails(t *testing.T) {
+	base := report(true, exp("t52", "local_us", 6.9))
+	cand := report(false, exp("t52", "local_us", 6.9))
+	res := Compare(base, cand, 0.05)
+	if res.OK() {
+		t.Fatal("quick-mode mismatch passed")
+	}
+	if !strings.Contains(res.Failures[0], "quick-mode mismatch") {
+		t.Fatalf("unexpected failure: %q", res.Failures[0])
+	}
+}
+
+func TestFailureOrderIsStable(t *testing.T) {
+	base := report(true, exp("t52", "a", 1.0, "b", 2.0, "c", 3.0))
+	cand := report(true, exp("t52", "a", 2.0, "b", 4.0, "c", 6.0))
+	first := Compare(base, cand, 0.05)
+	for i := 0; i < 20; i++ {
+		if got := Compare(base, cand, 0.05); strings.Join(got.Failures, "\n") != strings.Join(first.Failures, "\n") {
+			t.Fatal("failure order varies across runs")
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	doc := `{"name":"hivebench","quick":true,"experiments":[
+		{"id":"t52","wall_ms":24.0,"metrics":{"local_us":6.9}}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Quick || len(r.Experiments) != 1 || r.Experiments[0].Metrics["local_us"] != 6.9 {
+		t.Fatalf("bad parse: %+v", r)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

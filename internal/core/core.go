@@ -26,6 +26,12 @@ import (
 	"repro/internal/vm"
 )
 
+// MaxCells is the largest supported cell count. The bound comes from the
+// FLASH firewall: write permission is a 64-bit processor vector per page
+// (§4.2), so at most 64 distinct processors — and hence 64 single-node
+// cells — can be told apart by the containment hardware.
+const MaxCells = 64
+
 // Config describes a Hive boot.
 type Config struct {
 	Machine machine.Config
@@ -62,10 +68,9 @@ func DefaultConfig() Config {
 	return Config{
 		Machine:       machine.DefaultConfig(),
 		Cells:         4,
-		Agreement:     membership.Oracle,
-		Mounts:        []fs.Mount{{Prefix: "/tmp", Cell: 3}},
-		RPCServerPool: 4,
-		Seed:          1995,
+		Agreement: membership.Oracle,
+		Mounts:    []fs.Mount{{Prefix: "/tmp", Cell: 3}},
+		Seed:      1995,
 	}
 }
 
@@ -112,13 +117,31 @@ type Cell struct {
 	Metrics *stats.Registry
 }
 
+// ValidateCells reports whether a cell count is bootable on a machine with
+// the given node count: at least 1 cell, at most MaxCells, and an even
+// node partition (Figure 3.1 gives every cell the same number of nodes).
+func ValidateCells(cells, nodes int) error {
+	switch {
+	case cells < 1:
+		return fmt.Errorf("core: cell count %d: must be at least 1", cells)
+	case cells > MaxCells:
+		return fmt.Errorf("core: cell count %d exceeds MaxCells %d (the firewall's 64-bit write-permission vector)", cells, MaxCells)
+	case nodes%cells != 0:
+		return fmt.Errorf("core: cell count %d must divide node count %d", cells, nodes)
+	}
+	return nil
+}
+
 // Boot builds and starts a Hive.
 func Boot(cfg Config) *Hive {
-	if cfg.Cells <= 0 || cfg.Machine.Nodes%cfg.Cells != 0 {
-		panic("core: cell count must divide node count")
+	if err := ValidateCells(cfg.Cells, cfg.Machine.Nodes); err != nil {
+		panic(err.Error())
 	}
 	if cfg.RPCServerPool == 0 {
-		cfg.RPCServerPool = 4
+		// One pool sized for the 4-cell evaluation machine, grown gently
+		// with scale: intercell request fan-in rises with the number of
+		// peers, but most traffic stays pairwise.
+		cfg.RPCServerPool = 4 + cfg.Cells/8
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	m := machine.New(eng, cfg.Machine)

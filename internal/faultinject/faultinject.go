@@ -143,6 +143,11 @@ type TrialOpts struct {
 	// failure minimizer uses it to search for the smallest reproducing
 	// seed; 0 keeps the derived default.
 	Seed int64
+	// Cells sizes the Hive the trial boots (0 = the paper's 4 cells).
+	// Larger campaigns exercise containment at scale; counts below 4 are
+	// rejected — the methodology needs two file-server cells plus at
+	// least two candidate victims.
+	Cells int
 }
 
 // RunTrial executes one injection trial from a fresh boot.
@@ -154,11 +159,23 @@ func RunTrial(s Scenario, trial int) *TrialResult {
 // is entirely self-contained (its own engine, seeded from (s, trial)), so
 // concurrent trials on a parallel.Runner give bit-identical results.
 func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
+	cells := opts.Cells
+	if cells == 0 {
+		cells = 4
+	}
+	if cells < 4 {
+		panic(fmt.Sprintf("faultinject: campaign needs at least 4 cells, got %d", cells))
+	}
 	seed := int64(10007*trial + int(s)*211 + 7)
+	if cells != 4 {
+		// Distinct cell counts are distinct experiments; keep the 4-cell
+		// seeds exactly as published while separating the others.
+		seed += int64(cells) * 7919
+	}
 	if opts.Seed != 0 {
 		seed = opts.Seed
 	}
-	h := workload.BootHiveWith(4, seed, func(cfg *core.Config) {
+	h := workload.BootHiveWith(cells, seed, func(cfg *core.Config) {
 		if opts.TraceCap > 0 {
 			cfg.TraceCap = opts.TraceCap
 		}
@@ -166,15 +183,15 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			// The recovery master (cell 0) is itself a casualty here, so
 			// the file servers must live elsewhere: /usr and /data move
 			// to cell 2, keeping the correctness check runnable on the
-			// surviving cells {2, 3}.
+			// surviving cells.
 			cfg.Mounts = []fs.Mount{
-				{Prefix: "/tmp", Cell: 3},
+				{Prefix: "/tmp", Cell: cells - 1},
 				{Prefix: "/usr", Cell: 2},
 				{Prefix: "/data", Cell: 2},
 			}
 		}
 	})
-	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%2}
+	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%(cells-2)}
 	if s == CoordinatorDeath {
 		// Cell 0 is the coordinator casualty, so the first fault targets
 		// a fixed non-coordinator, non-file-server cell.
@@ -195,9 +212,10 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			}
 		}()
 	}
-	// Target cells 1 or 2: neither hosts /usr (cell 0) nor /tmp (cell 3),
-	// so the correctness check has its file servers after the fault —
-	// the paper's workloads survive only if their resources do (§2).
+	// Targets rotate over cells 1..cells-2: none host /usr (cell 0) or
+	// /tmp (the last cell), so the correctness check has its file servers
+	// after the fault — the paper's workloads survive only if their
+	// resources do (§2).
 	target := res.TargetCell
 	rng := h.Eng.Rand()
 
@@ -300,7 +318,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		// fault: another member of the resulting recovery round dies just
 		// after barrier 1 opens — while every survivor is inside the
 		// round — exercising the barrier-shrink and vote-withdrawal path.
-		second := 3 - target
+		second := doubleFaultSecond(target)
 		at := sim.Time(500+rng.Intn(3000)) * sim.Millisecond
 		h.Eng.At(at, inject)
 		var secondArmed bool
@@ -358,7 +376,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	switch {
 	case s == DoubleFault:
 		expectDead[target] = true
-		expectDead[3-target] = true
+		expectDead[doubleFaultSecond(target)] = true
 	case s == CoordinatorDeath:
 		expectDead[target] = true
 		expectDead[0] = true
@@ -467,6 +485,17 @@ func auditKernel(h *core.Hive, target int) {
 		cell.COW.Audit(t)
 	})
 	h.RunUntil(func() bool { return done || cell.Failed() }, h.Eng.Now()+5*sim.Second)
+}
+
+// doubleFaultSecond picks the second casualty of a DoubleFault trial:
+// another non-file-server cell, never the first target. At 4 cells this is
+// 3-target — the seed campaign's published pairing — and it stays valid at
+// any larger count (cells 1 and 2 are victims, never mounts).
+func doubleFaultSecond(target int) int {
+	if target == 1 {
+		return 2
+	}
+	return 1
 }
 
 // outputPresent checks a file exists with full length at its home.
@@ -579,8 +608,14 @@ func RunScenario(s Scenario, tests int) *CampaignRow {
 // a seed derived from (scenario, trial), so the aggregate row — averages,
 // maxima, and failure list — is byte-identical at any worker count.
 func RunScenarioWith(r *parallel.Runner, s Scenario, tests int) *CampaignRow {
+	return RunScenarioCellsWith(r, s, tests, 0)
+}
+
+// RunScenarioCellsWith is RunScenarioWith at an explicit Hive size — the
+// scaling campaign's entry point (cells 0 = the paper's 4).
+func RunScenarioCellsWith(r *parallel.Runner, s Scenario, tests, cells int) *CampaignRow {
 	trials := parallel.Map(r, tests, func(i int) *TrialResult {
-		return RunTrial(s, i)
+		return RunTrialOpts(s, i, TrialOpts{Cells: cells})
 	})
 	return Aggregate(s, trials)
 }

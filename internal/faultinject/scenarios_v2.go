@@ -130,6 +130,15 @@ func armMsgFaults(h *core.Hive, s Scenario, target int, rng *rand.Rand) *msgInje
 		// the arming time (a fixed window can land in a pure-compute gap
 		// with no traffic at all).
 	}
+	if s != FaultStorm && len(h.Cells) != 4 {
+		// On the paper's 4-cell machine every cell sees RPC traffic for
+		// the whole run, so filtering on the target cell always finds
+		// messages to fault. At larger counts pmake gives each cell at
+		// most one job and the target may go quiet before the arming
+		// time — fault the whole fabric instead (message faults kill
+		// nobody; containment is judged globally either way).
+		inj.target = -1
+	}
 	h.M.FaultHook = inj.decide
 	return inj
 }

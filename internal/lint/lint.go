@@ -112,6 +112,7 @@ func DefaultConfig() *Config {
 			"sim":      0,
 			"kmem":     0,
 			"lint":     0, // tooling; imports nothing from the model
+			"benchcmp": 0, // tooling; stdlib-only report comparison
 			"stats":    1,
 			"trace":    1,
 			"disk":     1,

@@ -160,6 +160,14 @@ func New(e *sim.Engine, cfg Config) *Machine {
 	if cfg.Nodes <= 0 || cfg.ProcsPerNode <= 0 {
 		panic("machine: invalid config")
 	}
+	if cfg.FirewallEnabled && cfg.Nodes*cfg.ProcsPerNode > 64 {
+		// The firewall's per-page write-permission vector is 64 bits
+		// wide (one bit per processor); beyond that, NodeProcMask's %64
+		// wraparound would alias distinct processors and silently void
+		// containment. Refuse rather than degrade.
+		panic(fmt.Sprintf("machine: %d processors exceed the firewall's 64-bit permission vector",
+			cfg.Nodes*cfg.ProcsPerNode))
+	}
 	m := &Machine{
 		Cfg:          cfg,
 		Eng:          e,

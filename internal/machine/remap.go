@@ -27,12 +27,16 @@ func (m *Machine) RemapTranslate(proc *Processor, r int) PageNum {
 // per-node counter with shared-memory access semantics.
 
 // TickClock increments node n's clock word; called by the local cell's
-// clock interrupt handler. Local, so it costs an L2 hit.
+// clock interrupt handler. Timer interrupts run at the highest priority:
+// the tick steals its L2-hit cost from whatever the CPU is executing
+// instead of queueing behind it, so the clock word keeps advancing even
+// when the CPU is saturated with interrupt-level RPC service — a wedged
+// clock must mean a failed cell, not a busy one (§4.3).
 func (m *Machine) TickClock(t *sim.Task, proc *Processor, n int) {
 	if proc.Node.ID != n {
 		panic("machine: clock word is written only by its own node")
 	}
-	m.CacheHit(t, proc)
+	proc.StealTime(m.Cfg.L2HitNs)
 	m.Nodes[n].clockWord++
 }
 

@@ -63,6 +63,10 @@ type round struct {
 	members  map[int]bool // live cells minus suspect
 	joined   map[int]bool // members that have taken up the round
 	votes    map[int]bool // cell -> votesDead
+	// deadVotes counts the true entries in votes, maintained incrementally
+	// on insert and withdrawal so the tally never rescans the vote map —
+	// the rescans were O(members²) per round at large cell counts.
+	deadVotes int
 	verdict  *sim.Future  // resolves to map[int]bool of confirmed-dead cells
 	applied  bool
 	barrier1 *sim.Barrier
@@ -229,6 +233,7 @@ func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
 				dead := int64(0)
 				if r.votes[mon.CellID] {
 					dead = 1
+					r.deadVotes++
 				}
 				mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "")
 				c.tallyVotes(r)
@@ -246,14 +251,8 @@ func (c *Coordinator) tallyVotes(r *round) {
 	if r.verdict.Ready() || len(r.members) == 0 || len(r.votes) < len(r.members) {
 		return
 	}
-	deadVotes := 0
-	for _, d := range r.votes {
-		if d {
-			deadVotes++
-		}
-	}
 	dead := map[int]bool{}
-	if deadVotes*2 > len(r.members) {
+	if r.deadVotes*2 > len(r.members) {
 		dead[r.suspect] = true
 	}
 	c.applyVerdict(r, dead)
@@ -367,6 +366,9 @@ func (c *Coordinator) CellDiedMidRound(cell int) {
 	}
 	// Withdraw the dead member's vote (it may never have voted; a round
 	// must not wait on a dead voter) and re-tally the survivors.
+	if r.votes[cell] {
+		r.deadVotes--
+	}
 	delete(r.votes, cell)
 	c.tallyVotes(r)
 	if cell == r.coordinator {

@@ -133,10 +133,12 @@ func NewMonitor(m *machine.Machine, ep *rpc.Endpoint, coord *Coordinator, cellID
 	return mon
 }
 
-// Start launches the clock/monitoring task and the recovery agent task.
+// Start launches the clock tick task, the neighbour watch task, and the
+// recovery agent task.
 func (mon *Monitor) Start() {
 	eng := mon.M.Eng
 	eng.Go(fmt.Sprintf("cell%d.clock", mon.CellID), mon.clockLoop)
+	eng.Go(fmt.Sprintf("cell%d.watch", mon.CellID), mon.watchLoop)
 	eng.Go(fmt.Sprintf("cell%d.recovery", mon.CellID), mon.recoveryLoop)
 }
 
@@ -157,18 +159,19 @@ func (mon *Monitor) proc() *machine.Processor {
 	return mon.M.Nodes[mon.NodeIDs[0]].Procs[0]
 }
 
-// clockLoop ticks the cell's clock words and monitors the neighbour
-// (§4.3): a shared location that fails to increment, or a bus error on the
-// read, is a failure hint.
+// clockLoop ticks the cell's clock words (§4.3). It runs alone so the
+// ticks land on schedule: the neighbour watch in watchLoop goes through
+// the careful reference protocol, whose stealable CPU bursts can stall
+// for tens of milliseconds when the cell's processor is saturated with
+// interrupt-level RPC service — and a cell whose own clock freezes while
+// it waits on a busy neighbour reads as dead to its watcher.
 func (mon *Monitor) clockLoop(t *sim.Task) {
-	tick := 0
 	for !mon.dead {
 		t.Sleep(TickInterval)
 		if mon.dead {
 			return
 		}
-		proc := mon.proc()
-		if proc.Halted() {
+		if mon.proc().Halted() {
 			return
 		}
 		for _, n := range mon.NodeIDs {
@@ -176,13 +179,23 @@ func (mon *Monitor) clockLoop(t *sim.Task) {
 				mon.M.TickClock(t, p, n)
 			}
 		}
-		every := mon.CheckEvery
-		if every <= 0 {
-			every = DefaultCheckEvery
+	}
+}
+
+// watchLoop monitors the neighbour's clock word (§4.3): a shared location
+// that fails to increment, or a bus error on the read, is a failure hint.
+func (mon *Monitor) watchLoop(t *sim.Task) {
+	every := mon.CheckEvery
+	if every <= 0 {
+		every = DefaultCheckEvery
+	}
+	for !mon.dead {
+		t.Sleep(sim.Time(every) * TickInterval)
+		if mon.dead {
+			return
 		}
-		tick++
-		if tick%every != 0 {
-			continue
+		if mon.proc().Halted() {
+			return
 		}
 		nb := mon.Coord.neighborOf(mon.CellID)
 		if nb < 0 || nb == mon.CellID {
@@ -229,16 +242,26 @@ func (mon *Monitor) Hint(suspect int, reason string) {
 	mon.M.Eng.Go(fmt.Sprintf("cell%d.alertcast", mon.CellID), func(t *sim.Task) {
 		span := mon.Tracer.Begin(t.Now(), "recovery:alert")
 		mon.Tracer.Emit(t.Now(), trace.Alert, int64(suspect), 0, reason)
-		sent := int64(0)
+		var peers []int
 		for _, c := range mon.Coord.liveSet() {
-			if c == mon.CellID || c == suspect {
-				continue
+			if c != mon.CellID && c != suspect {
+				peers = append(peers, c)
 			}
-			mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
-				rpc.CallOpts{DataBytes: 64, NoHint: true})
-			sent++
 		}
-		mon.Tracer.End(t.Now(), span, "recovery:alert", sent)
+		// Fan the alert out concurrently — one sender task per peer — so
+		// the cast completes in one round-trip instead of len(peers) of
+		// them. At 32+ cells the serial cast dominated detection latency.
+		join := sim.NewBarrier(len(peers) + 1)
+		for _, c := range peers {
+			c := c
+			mon.M.Eng.Go(fmt.Sprintf("cell%d.alert%d", mon.CellID, c), func(t *sim.Task) {
+				mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
+					rpc.CallOpts{DataBytes: 64, NoHint: true})
+				join.Await(t)
+			})
+		}
+		join.Await(t)
+		mon.Tracer.End(t.Now(), span, "recovery:alert", int64(len(peers)))
 	})
 }
 
@@ -426,6 +449,13 @@ func (mon *Monitor) registerServices() {
 				// sanity checks defend against forged alerts.
 				return nil, 0, true, fmt.Errorf("membership: bad alert")
 			}
+			// Receiving an alert suppresses this cell's own broadcast for
+			// the same suspect: the sender's cast already reached every
+			// live cell, so a second cast would only add another N-message
+			// wave (N independent accusers × N recipients grows O(N²) with
+			// the cell count; the flag keeps the total O(N)). The queued
+			// copy below still guarantees this cell joins the round.
+			mon.alerting[msg.Suspect] = true
 			mon.alerts.Push(msg)
 			return nil, 20 * sim.Microsecond, true, nil
 		}, nil)

@@ -68,9 +68,10 @@ type Engine struct {
 	rng     *rand.Rand
 	cur     *Task
 	live    []*Task // all non-done tasks, for deadlock diagnostics
-	nTasks  int
-	stopped bool
-	failure any // panic value escaped from a task
+	nTasks     int
+	stopped    bool
+	failure    any    // panic value escaped from a task
+	dispatched uint64 // total events fired since boot
 
 	// Trace, if non-nil, receives a line for every dispatched event.
 	// Used by determinism tests and debugging.
@@ -179,6 +180,7 @@ func (e *Engine) Run(deadline Time) Time {
 		}
 		heap.Pop(&e.events)
 		e.nLive--
+		e.dispatched++
 		e.now = ev.at
 		fn, owned := ev.fn, ev.owned
 		fn()
@@ -206,6 +208,7 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.nLive--
+		e.dispatched++
 		e.now = ev.at
 		fn, owned := ev.fn, ev.owned
 		fn()
@@ -219,6 +222,10 @@ func (e *Engine) Step() bool {
 	}
 	return false
 }
+
+// Dispatched returns the total number of events fired since boot — the
+// deterministic work measure the scaling suite reports as events/sec.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
 // Pending returns the number of scheduled (non-cancelled) events. It is
 // O(1): the engine keeps the count current across push, pop, and cancel.

@@ -52,15 +52,27 @@ func (v *VM) Export(t *sim.Task, pf *Pfdat, client int, writable bool) (sim.Time
 	return cost, nil
 }
 
-// clientMask returns the firewall mask for every processor of a cell.
+// clientMask returns the firewall mask for every processor of a cell. The
+// node→cell map is fixed at boot, so the masks are computed once and cached
+// — every grant and revocation consults this on the fault path, and the
+// per-call scan over all nodes was quadratic in machine size at 32+ cells.
 func (v *VM) clientMask(cell int) uint64 {
-	var mask uint64
-	for n, c := range v.CellOfNode {
-		if c == cell {
-			mask |= v.M.NodeProcMask(n)
+	if v.maskOfCell == nil {
+		cells := 0
+		for _, c := range v.CellOfNode {
+			if c+1 > cells {
+				cells = c + 1
+			}
+		}
+		v.maskOfCell = make([]uint64, cells)
+		for n, c := range v.CellOfNode {
+			v.maskOfCell[c] |= v.M.NodeProcMask(n)
 		}
 	}
-	return mask
+	if cell < 0 || cell >= len(v.maskOfCell) {
+		return 0
+	}
+	return v.maskOfCell[cell]
 }
 
 // homeMask returns the firewall mask of the cell owning a frame — the

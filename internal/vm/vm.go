@@ -61,6 +61,10 @@ type VM struct {
 
 	Metrics   *stats.Registry
 	histFault *stats.Histogram // fault service latency (µs), hits and misses
+
+	// maskOfCell caches each cell's firewall processor mask (built lazily
+	// from CellOfNode, which never changes after boot).
+	maskOfCell []uint64
 }
 
 // New creates the VM for cell cellID owning the given nodes. kernelPages

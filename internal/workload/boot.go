@@ -6,13 +6,26 @@ import (
 	"repro/internal/membership"
 )
 
-// BootHive boots the paper's 4-processor machine partitioned into the
-// given number of cells (1, 2, or 4), with /tmp homed on the last cell.
+// BootHive boots a machine partitioned into the given number of cells
+// (1 up to core.MaxCells), with /tmp homed on the last cell. Counts that
+// divide the paper's 4-node evaluation machine boot exactly that machine;
+// larger (or non-dividing) counts scale the machine to one node per cell,
+// keeping per-cell resources identical to the paper's configuration.
 func BootHive(cells int) *core.Hive {
 	cfg := core.DefaultConfig()
+	return core.Boot(scaleConfig(cfg, cells))
+}
+
+// scaleConfig sizes cfg's machine for the requested cell count and installs
+// the standard mounts. The 4-node evaluation machine is kept whenever the
+// count divides it so the calibrated 1/2/4-cell timings are untouched.
+func scaleConfig(cfg core.Config, cells int) core.Config {
 	cfg.Cells = cells
+	if cells > 0 && (cells > cfg.Machine.Nodes || cfg.Machine.Nodes%cells != 0) {
+		cfg.Machine.Nodes = cells
+	}
 	cfg.Mounts = standardMounts(cells)
-	return core.Boot(cfg)
+	return cfg
 }
 
 // standardMounts places /tmp on the last cell (the paper's intermediate-
@@ -35,9 +48,7 @@ func BootHiveSeeded(cells int, seed int64) *core.Hive {
 // standard fields are set — the knob the tracing harnesses use to widen
 // trace rings without duplicating the standard boot recipe.
 func BootHiveWith(cells int, seed int64, mutate func(*core.Config)) *core.Hive {
-	cfg := core.DefaultConfig()
-	cfg.Cells = cells
-	cfg.Mounts = standardMounts(cells)
+	cfg := scaleConfig(core.DefaultConfig(), cells)
 	cfg.Seed = seed
 	if mutate != nil {
 		mutate(&cfg)
