@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check trace-check drill-smoke race bench bench-engine bench-report bench-gate clean
+.PHONY: all build test lint check trace-check drill-smoke shard-identity race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -44,10 +44,35 @@ trace-check:
 drill-smoke:
 	$(GO) run ./cmd/faultdrill -trials 1
 
+# shard-identity is the sharded-engine determinism gate: the quick fault
+# campaign (JSON, wall-clock/config fields stripped), the seeded sweep
+# witness hash, a full workload run, and its Chrome trace export must be
+# byte-identical between -shards 1 (the serial reference) and -shards
+# auto (one OS worker per cell).
+SCRATCH := .shardcheck
+shard-identity:
+	mkdir -p $(SCRATCH)
+	$(GO) run ./cmd/faultdrill -trials 1 -json -o $(SCRATCH)/drill_s1.json -shards 1
+	$(GO) run ./cmd/faultdrill -trials 1 -json -o $(SCRATCH)/drill_sa.json -shards auto
+	grep -vE '"(jobs|gomaxprocs|shards|total_wall_ms)"' $(SCRATCH)/drill_s1.json > $(SCRATCH)/drill_s1.norm
+	grep -vE '"(jobs|gomaxprocs|shards|total_wall_ms)"' $(SCRATCH)/drill_sa.json > $(SCRATCH)/drill_sa.norm
+	diff $(SCRATCH)/drill_s1.norm $(SCRATCH)/drill_sa.norm
+	$(GO) run ./cmd/faultdrill -sweep -points 24 -shards 1 > $(SCRATCH)/sweep_s1.txt
+	$(GO) run ./cmd/faultdrill -sweep -points 24 -shards auto > $(SCRATCH)/sweep_sa.txt
+	diff $(SCRATCH)/sweep_s1.txt $(SCRATCH)/sweep_sa.txt
+	$(GO) run ./cmd/hivesim -workload pmake -cells 4 -fail 1 -shards 1 -trace $(SCRATCH)/trace_s1.json | grep -v 'trace written to' > $(SCRATCH)/sim_s1.txt
+	$(GO) run ./cmd/hivesim -workload pmake -cells 4 -fail 1 -shards auto -trace $(SCRATCH)/trace_sa.json | grep -v 'trace written to' > $(SCRATCH)/sim_sa.txt
+	diff $(SCRATCH)/sim_s1.txt $(SCRATCH)/sim_sa.txt
+	diff $(SCRATCH)/trace_s1.json $(SCRATCH)/trace_sa.json
+	rm -rf $(SCRATCH)
+	@echo "shard-identity: -shards 1 and -shards auto byte-identical"
+
 # race runs the concurrency-sensitive packages under the race detector,
-# including the cross-package determinism gates in internal/faultinject.
+# including the cross-package determinism gates in internal/faultinject
+# and the stack-level sharded-engine identity tests in internal/workload.
 race:
 	$(GO) test -race ./internal/parallel/... ./internal/sim/... ./internal/faultinject/...
+	$(GO) test -race -run 'Sharded' ./internal/workload/
 
 # bench regenerates every paper table as benchmarks.
 bench:

@@ -32,13 +32,17 @@ import (
 	"repro/internal/harness"
 	"repro/internal/parallel"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
-// experimentReport is one experiment's entry in the -json output.
+// experimentReport is one experiment's entry in the -json output. Metrics
+// are deterministic and perf-gated; Info carries wall-clock-derived values
+// (engine events/sec) that are recorded but never gated.
 type experimentReport struct {
 	ID      string             `json:"id"`
 	WallMs  float64            `json:"wall_ms"`
 	Metrics map[string]float64 `json:"metrics"`
+	Info    map[string]float64 `json:"info,omitempty"`
 }
 
 // benchReport is the full -json document.
@@ -57,6 +61,7 @@ type runCtx struct {
 	jsonMode bool
 	report   *benchReport
 	metrics  map[string]float64
+	info     map[string]float64
 }
 
 // printf emits human-readable output (suppressed in -json mode).
@@ -76,6 +81,9 @@ func (c *runCtx) println(args ...any) {
 // metric records one measured value for the JSON report.
 func (c *runCtx) metric(name string, v float64) { c.metrics[name] = v }
 
+// infoMetric records a wall-clock-derived value: reported, never gated.
+func (c *runCtx) infoMetric(name string, v float64) { c.info[name] = v }
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced fault-injection trial counts")
 	only := flag.String("only", "", "run a single experiment by id")
@@ -83,9 +91,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable benchmark report instead of tables")
 	outPath := flag.String("o", "", "write the -json report to a file instead of stdout")
 	tracePath := flag.String("trace", "", "write a Chrome trace of one node-failure trial, then exit")
+	shards := flag.String("shards", "", "engine mode for every experiment Hive: 0 = classic (default), N = sharded with N workers, auto = one worker per cell; deterministic metrics are identical at every positive value")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*jobs)
+	nshards, err := workload.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivebench:", err)
+		os.Exit(2)
+	}
+	workload.SetDefaultShards(nshards)
 
 	if *tracePath != "" {
 		tr := faultinject.RunTrialOpts(faultinject.NodeFailRandom, 0,
@@ -116,13 +131,18 @@ func main() {
 			return
 		}
 		ctx.metrics = map[string]float64{}
+		ctx.info = map[string]float64{}
 		expStart := time.Now()
 		fn(ctx)
-		ctx.report.Experiments = append(ctx.report.Experiments, experimentReport{
+		rep := experimentReport{
 			ID:      id,
 			WallMs:  float64(time.Since(expStart).Microseconds()) / 1000,
 			Metrics: ctx.metrics,
-		})
+		}
+		if len(ctx.info) > 0 {
+			rep.Info = ctx.info
+		}
+		ctx.report.Experiments = append(ctx.report.Experiments, rep)
 	}
 
 	run("careful41", func(c *runCtx) {
@@ -304,6 +324,15 @@ func main() {
 			c.metric("rpc_per_s_"+key, r.RPCPerSec)
 			c.metric("events_"+key, float64(r.Events))
 			c.metric("events_per_s_"+key, r.EventsPerSec)
+			// scale_sharded: the same pmake on the sharded engine. The
+			// dispatched-event counts and virtual timings are
+			// deterministic and gated; the wall-clock events/sec of both
+			// engine modes go to the ungated info section.
+			c.metric("pmake_s_sharded_"+key, r.ShardedPmakeSec)
+			c.metric("events_sharded_"+key, float64(r.ShardedEvents))
+			c.metric("events_per_s_sharded_"+key, r.ShardedEventsPerSec)
+			c.infoMetric("wall_events_per_s_classic_"+key, r.WallEventsPerSec)
+			c.infoMetric("wall_events_per_s_sharded_"+key, r.ShardedWallEventsPerSec)
 			c.metric("detect_ms_"+key, r.DetectMs)
 			c.metric("recovery_ms_"+key, r.RecoveryMs)
 			if !r.Contained {
@@ -312,6 +341,10 @@ func main() {
 		}
 		c.metric("all_contained", allContained)
 		c.println(harness.FormatScale(rows))
+		for _, r := range rows {
+			c.printf("engine rate at %d cells: classic %.0f ev/s (wall), sharded %.0f ev/s (wall, %d workers)\n",
+				r.Cells, r.WallEventsPerSec, r.ShardedWallEventsPerSec, workload.AutoShards(r.Cells))
+		}
 		c.println("recovery cost grows with round membership; containment must hold at every size.")
 		c.println()
 	})

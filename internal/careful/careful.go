@@ -58,6 +58,12 @@ type Reader struct {
 	M        *machine.Machine
 	Space    *kmem.Space
 	HintSink func(suspectCell int, reason string)
+	// CellEngine maps a cell id to the shard its nodes are bound to in a
+	// sharded run (wired by the boot layer); nil means every cell shares
+	// one engine and remote reads resolve directly. When the window's
+	// expected cell lives on another shard, arena reads hop to the global
+	// phase so they never race the owner's window.
+	CellEngine func(cell int) *sim.Engine
 }
 
 // Ctx is one careful_on..careful_off window.
@@ -98,6 +104,23 @@ func (c *Ctx) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
+}
+
+// global runs fn with every shard quiescent when the window targets a cell
+// on another shard; otherwise fn runs directly. This is the sharded-run
+// analogue of the hardware guarantee the protocol already assumes — a
+// remote read observes a consistent memory image, not a torn intermediate.
+func (c *Ctx) global(fn func()) {
+	me := c.r.M.NodeEngine(c.proc.Node.ID)
+	if me.Cluster() == nil || c.r.CellEngine == nil || c.expectCell < 0 {
+		fn()
+		return
+	}
+	if g := c.r.CellEngine(c.expectCell); g == nil || g == me {
+		fn()
+		return
+	}
+	me.Global(c.t, fn)
 }
 
 // SetLoopBound sets the maximum number of traversal steps permitted in this
@@ -143,7 +166,9 @@ func (c *Ctx) CheckTag(addr kmem.Addr, want kmem.TypeTag) bool {
 		return false
 	}
 	c.chargeRead()
-	tag, err := c.r.Space.TagAt(addr)
+	var tag kmem.TypeTag
+	var err error
+	c.global(func() { tag, err = c.r.Space.TagAt(addr) })
 	if err != nil {
 		c.fail(fmt.Errorf("%w reading tag at %v", ErrBusError, addr))
 		return false
@@ -180,7 +205,9 @@ func (c *Ctx) ReadWord(addr kmem.Addr, i int) uint64 {
 		return 0
 	}
 	c.chargeRead()
-	v, err := c.r.Space.ReadWord(addr, i)
+	var v uint64
+	var err error
+	c.global(func() { v, err = c.r.Space.ReadWord(addr, i) })
 	if err != nil {
 		c.fail(fmt.Errorf("%w at %v+%d", ErrBusError, addr, i))
 		return 0
@@ -196,11 +223,18 @@ func (c *Ctx) CopyObject(addr kmem.Addr, n int) []uint64 {
 		return nil
 	}
 	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		out[i] = c.ReadWord(addr, i)
-		if c.err != nil {
-			return nil
+	// One hop covers the whole copy: the per-word reads inside nest and run
+	// inline, so a cross-shard snapshot costs one window, not one per word.
+	c.global(func() {
+		for i := 0; i < n; i++ {
+			out[i] = c.ReadWord(addr, i)
+			if c.err != nil {
+				return
+			}
 		}
+	})
+	if c.err != nil {
+		return nil
 	}
 	return out
 }

@@ -1,0 +1,38 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+)
+
+// trialFingerprint summarizes the fields the shard-identity gate diffs.
+func trialFingerprint(r *TrialResult) string {
+	return fmt.Sprintf("inj=%d detect=%.6f recov=%.6f d=%v c=%v i=%v ok=%v state=%v th=%x notes=%q",
+		r.InjectedAt, r.DetectMs, r.RecoveryMs, r.Detected, r.Contained,
+		r.IntegrityOK, r.CorrectRunOK, r.StateOK, r.TraceHash, r.Notes)
+}
+
+// TestShardedTrialIdentity runs one trial of hardware-fault, corruption,
+// and message-fault scenarios on the sharded engine at 1 and 2 workers
+// and requires identical outcomes including the per-shard dispatch-trace
+// hash — the campaign-level determinism gate in miniature (CI runs the
+// full quick campaign the same way). The hook-driven scenarios
+// (NodeFailProcCreate, NodeFailCOWSearch, CorruptCOWTree) exercise the
+// Engine.Global hop: their injections fire from workload tasks on cell
+// shards and must reach machine-global state through the global phase.
+func TestShardedTrialIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded trial identity skipped in -short")
+	}
+	for _, s := range []Scenario{NodeFailProcCreate, NodeFailCOWSearch,
+		NodeFailRandom, CorruptAddrMap, CorruptCOWTree, MsgDrop, FaultStorm} {
+		ref := RunTrialOpts(s, 0, TrialOpts{Shards: 1, TraceHash: true})
+		got := RunTrialOpts(s, 0, TrialOpts{Shards: 2, TraceHash: true})
+		if fp, want := trialFingerprint(got), trialFingerprint(ref); fp != want {
+			t.Errorf("%v: 2-worker trial diverged\n got %s\nwant %s", s, fp, want)
+		}
+		if !ref.OK() {
+			t.Errorf("%v: sharded trial not OK: %s", s, trialFingerprint(ref))
+		}
+	}
+}

@@ -34,6 +34,17 @@ type ScaleRow struct {
 	Events       int64
 	EventsPerSec float64
 
+	// The scale_sharded probe: the same pmake rerun on the sharded engine
+	// (one shard per cell, one worker per shard). The virtual-time fields
+	// are deterministic and perf-gated; the WallEvents rates are the real
+	// events/sec of each engine mode and are reported, never gated (wall
+	// clock varies with the host).
+	ShardedPmakeSec         float64
+	ShardedEvents           int64
+	ShardedEventsPerSec     float64
+	WallEventsPerSec        float64 // classic engine, Dispatched()/wall
+	ShardedWallEventsPerSec float64 // sharded engine, Dispatched()/wall
+
 	// Fault campaign at this size: NodeFailRandom, DoubleFault, and
 	// CoordinatorDeath trials. Latencies are averages over the detected
 	// trials; Contained means every trial fully passed (Table 7.4's
@@ -58,33 +69,51 @@ var scaleScenarios = []faultinject.Scenario{
 // is an independent boot, so the probes fan out across the process-wide
 // parallel runner; results merge in cell-count order.
 func RunScale(cellCounts []int, trials int) []ScaleRow {
-	const unitsPer = 2 + 3 // pmake, ocean, one unit per scaleScenario
+	const unitsPer = 3 + 3 // pmake, sharded pmake, ocean, one unit per scaleScenario
 	type part struct {
 		pmakeSec, oceanSec float64
 		rpcCalls, events   int64
+		wallEvSec          float64
 		row                *faultinject.CampaignRow
 	}
 	parts := parallel.Map(parallel.Default(), unitsPer*len(cellCounts), func(i int) part {
 		cells := cellCounts[i/unitsPer]
 		switch i % unitsPer {
 		case 0:
-			h := bootScale(cells)
+			h := bootScale(cells, 0)
 			calls0 := rpcCallCount(h)
 			ev0 := h.Eng.Dispatched()
+			wall := parallel.WallTimer()
 			res := workload.RunPmake(h, workload.DefaultPmake(), 120*sim.Second)
+			ev := int64(h.Eng.Dispatched() - ev0)
 			return part{
-				pmakeSec: res.Elapsed.Seconds(),
-				rpcCalls: rpcCallCount(h) - calls0,
-				events:   int64(h.Eng.Dispatched() - ev0),
+				pmakeSec:  res.Elapsed.Seconds(),
+				rpcCalls:  rpcCallCount(h) - calls0,
+				events:    ev,
+				wallEvSec: float64(ev) / wall(),
 			}
 		case 1:
-			h := bootScale(cells)
+			// scale_sharded: the same pmake on the sharded engine. Event
+			// counts come from the cluster (all shards), so the perf gate
+			// covers the sharded dispatch path from day one.
+			h := bootScale(cells, workload.AutoShards(cells))
+			ev0 := h.Clu.Dispatched()
+			wall := parallel.WallTimer()
+			res := workload.RunPmake(h, workload.DefaultPmake(), 120*sim.Second)
+			ev := int64(h.Clu.Dispatched() - ev0)
+			return part{
+				pmakeSec:  res.Elapsed.Seconds(),
+				events:    ev,
+				wallEvSec: float64(ev) / wall(),
+			}
+		case 2:
+			h := bootScale(cells, 0)
 			cfg := workload.DefaultOcean()
 			cfg.Threads = cells // one thread per CPU on the scaled machine
 			res := workload.RunOcean(h, cfg, 120*sim.Second)
 			return part{oceanSec: res.Elapsed.Seconds()}
 		default:
-			s := scaleScenarios[i%unitsPer-2]
+			s := scaleScenarios[i%unitsPer-3]
 			return part{row: faultinject.RunScenarioCellsWith(parallel.Default(), s, trials, cells)}
 		}
 	})
@@ -93,20 +122,27 @@ func RunScale(cellCounts []int, trials int) []ScaleRow {
 	for i, cells := range cellCounts {
 		p := parts[i*unitsPer : (i+1)*unitsPer]
 		row := ScaleRow{
-			Cells:     cells,
-			PmakeSec:  p[0].pmakeSec,
-			OceanSec:  p[1].oceanSec,
-			RPCCalls:  p[0].rpcCalls,
-			Events:    p[0].events,
-			Contained: true,
+			Cells:                   cells,
+			PmakeSec:                p[0].pmakeSec,
+			OceanSec:                p[2].oceanSec,
+			RPCCalls:                p[0].rpcCalls,
+			Events:                  p[0].events,
+			WallEventsPerSec:        p[0].wallEvSec,
+			ShardedPmakeSec:         p[1].pmakeSec,
+			ShardedEvents:           p[1].events,
+			ShardedWallEventsPerSec: p[1].wallEvSec,
+			Contained:               true,
 		}
 		if row.PmakeSec > 0 {
 			row.RPCPerSec = float64(row.RPCCalls) / row.PmakeSec
 			row.EventsPerSec = float64(row.Events) / row.PmakeSec
 		}
+		if row.ShardedPmakeSec > 0 {
+			row.ShardedEventsPerSec = float64(row.ShardedEvents) / row.ShardedPmakeSec
+		}
 		var detect, recov float64
 		n := 0
-		for _, u := range p[2:] {
+		for _, u := range p[3:] {
 			row.FaultTrials += u.row.Tests
 			if !u.row.AllOK {
 				row.Contained = false
@@ -128,8 +164,16 @@ func RunScale(cellCounts []int, trials int) []ScaleRow {
 
 // bootScale boots the standard scaled Hive for a cell count: the paper's
 // machine when the count divides it, one node per cell beyond that.
-func bootScale(cells int) *core.Hive {
-	return workload.BootHive(cells)
+// shards < 1 forces the classic engine regardless of the process default;
+// positive counts boot the sharded engine with that many workers.
+func bootScale(cells, shards int) *core.Hive {
+	return workload.BootHiveWith(cells, core.DefaultConfig().Seed, func(cfg *core.Config) {
+		if shards > 0 {
+			cfg.Shards = shards
+		} else {
+			cfg.Shards = -1
+		}
+	})
 }
 
 // rpcCallCount sums the cells' outbound intercell call counters.
@@ -141,10 +185,14 @@ func rpcCallCount(h *core.Hive) int64 {
 	return n
 }
 
-// FormatScale renders the scaling table.
+// FormatScale renders the scaling table. Only deterministic (virtual-time)
+// values appear here so the table is byte-identical at every -j and -shards;
+// the wall-clock dispatch rates of the two engine modes live in the
+// ScaleRow's WallEventsPerSec fields and are reported separately.
 func FormatScale(rows []ScaleRow) *stats.Table {
 	tb := stats.NewTable("Scaling — workloads and fault campaign vs cell count",
 		"cells", "pmake s", "ocean s", "RPC calls", "RPC/s", "events", "events/s",
+		"sharded ev", "sharded ev/s",
 		"detect ms", "recov ms", "contained")
 	for _, r := range rows {
 		tb.AddRow(fmt.Sprint(r.Cells),
@@ -154,6 +202,8 @@ func FormatScale(rows []ScaleRow) *stats.Table {
 			fmt.Sprintf("%.0f", r.RPCPerSec),
 			fmt.Sprint(r.Events),
 			fmt.Sprintf("%.0f", r.EventsPerSec),
+			fmt.Sprint(r.ShardedEvents),
+			fmt.Sprintf("%.0f", r.ShardedEventsPerSec),
 			fmt.Sprintf("%.1f", r.DetectMs),
 			fmt.Sprintf("%.1f", r.RecoveryMs),
 			fmt.Sprintf("%v", r.Contained))

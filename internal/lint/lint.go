@@ -5,7 +5,7 @@
 //
 // DESIGN.md §1 claims every experiment is "fully deterministic (seeded
 // PRNG, strictly ordered event queue)". That property used to be
-// enforced only by convention; hivelint makes it machine-checked. Six
+// enforced only by convention; hivelint makes it machine-checked. Seven
 // analyzers police the hazards that break reproducibility or erode the
 // layering the design depends on:
 //
@@ -15,6 +15,8 @@
 //	rawconc     no raw goroutines/channels/sync outside sim & parallel
 //	stablesort  no unstable sorts whose tie order is Go-version-dependent
 //	layering    the DESIGN.md §2 import DAG, substrates below core
+//	shardcross  cross-shard work through the mailbox only, never a raw
+//	            shard engine pulled from the cluster
 //
 // The suite runs three ways: the cmd/hivelint CLI (with -json), the
 // `make lint` target, and an in-tree self-test that lints the whole
@@ -68,7 +70,7 @@ type Analyzer struct {
 // Analyzers returns the full hivelint suite in a fixed order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{walltimeAnalyzer, globalrandAnalyzer, maporderAnalyzer,
-		rawconcAnalyzer, stablesortAnalyzer, layeringAnalyzer}
+		rawconcAnalyzer, stablesortAnalyzer, layeringAnalyzer, shardcrossAnalyzer}
 }
 
 // AnalyzerNames returns the suite's analyzer names in a fixed order.
@@ -90,6 +92,9 @@ type Config struct {
 	// RawconcAllow lists import paths allowed to use goroutines,
 	// channels and sync primitives directly.
 	RawconcAllow map[string]bool
+	// ShardcrossAllow lists import paths allowed to pull raw shard
+	// engines out of a sim.Cluster (the sim package itself).
+	ShardcrossAllow map[string]bool
 	// Layers ranks every internal package; imports must flow strictly
 	// downward (see layering.go). Substrates are ranks 0-3, core 4+.
 	Layers map[string]int
@@ -106,6 +111,10 @@ func DefaultConfig() *Config {
 		RawconcAllow: map[string]bool{
 			"repro/internal/sim":      true, // task switching is goroutine-based
 			"repro/internal/parallel": true, // the OS-level worker pool
+			"repro/internal/stats":    true, // lock-free counters shared across shard workers
+		},
+		ShardcrossAllow: map[string]bool{
+			"repro/internal/sim": true, // implements the mailbox itself
 		},
 		Layers: map[string]int{
 			// Substrates (DESIGN.md §2 "built from scratch").

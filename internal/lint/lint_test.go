@@ -156,6 +156,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"maporder", "repro/internal/maporder", true, maporderAnalyzer},
 		{"rawconc", "repro/internal/rawconc", true, rawconcAnalyzer},
 		{"stablesort", "repro/internal/stablesort", true, stablesortAnalyzer},
+		{"shardcross", "repro/internal/shardcross", true, shardcrossAnalyzer},
 		{"layering", "repro/internal/machine", false, layeringAnalyzer},
 		{"layering_trace", "repro/internal/trace", false, layeringAnalyzer},
 		{"layering_unknown", "repro/internal/mystery", false, layeringAnalyzer},
@@ -187,6 +188,10 @@ func TestAllowlists(t *testing.T) {
 		// maporder and stablesort only police model packages.
 		{"maporder", "repro/cmd/hivebench", true, maporderAnalyzer},
 		{"stablesort", "repro/examples/quickstart", true, stablesortAnalyzer},
+		// shardcross only polices model packages (internal/sim itself is
+		// allowlisted, but the fixture can't load under that path: it
+		// imports the real sim package).
+		{"shardcross", "repro/cmd/hivesim", true, shardcrossAnalyzer},
 		// layering only constrains internal packages.
 		{"layering", "repro/cmd/hivesim", false, layeringAnalyzer},
 	}

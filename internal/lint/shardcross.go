@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// shardcross: in the sharded engine every cross-shard interaction must go
+// through the deterministic mailbox — Engine.Send, Engine.SendGlobal, or
+// Engine.Global — which stamps crossings with (virtual time, source shard,
+// per-edge sequence) so merge order never depends on OS scheduling. Pulling
+// another shard's *sim.Engine out of the cluster with Cluster.Shard or
+// Cluster.Global and scheduling on it directly bypasses the stamping and
+// reintroduces exactly the nondeterminism (and data races) the mailbox
+// exists to prevent. Model code therefore may not touch Cluster.Shard or
+// Cluster.Global at all; the two legitimate uses — boot-time wiring in
+// core.Boot before any worker runs, and observability hooks installed
+// before the run starts — carry //hive:lint-ignore pragmas with reasons.
+var shardcrossAnalyzer = &Analyzer{
+	Name: "shardcross",
+	Doc:  "no direct cross-shard engine access outside the mailbox (Engine.Send/SendGlobal/Global); Cluster.Shard and Cluster.Global are boot-wiring only",
+	Run:  runShardcross,
+}
+
+// shardcrossBanned lists the *sim.Cluster methods that hand out raw shard
+// engines.
+var shardcrossBanned = map[string]bool{"Shard": true, "Global": true}
+
+func runShardcross(p *Pass) {
+	if !p.Cfg.ModelPackage(p.Pkg.Path) || p.Cfg.ShardcrossAllow[p.Pkg.Path] {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !shardcrossBanned[sel.Sel.Name] {
+				return true
+			}
+			if isSimCluster(p.TypeOf(sel.X)) {
+				p.Reportf(call.Pos(), "Cluster.%s hands out a raw shard engine, bypassing the deterministic mailbox; cross-shard work must go through Engine.Send/SendGlobal/Global (boot-time wiring may annotate //hive:lint-ignore shardcross <reason>)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// isSimCluster reports whether t is sim.Cluster or *sim.Cluster.
+func isSimCluster(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Cluster" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "repro/internal/sim"
+}

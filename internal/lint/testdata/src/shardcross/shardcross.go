@@ -1,0 +1,36 @@
+// Fixture for the shardcross analyzer: direct shard-engine access is a
+// violation; the mailbox entry points are fine; boot-time wiring may carry
+// a pragma.
+package shardcross
+
+import "repro/internal/sim"
+
+// direct pulls raw shard engines out of the cluster — both accessors are
+// bypasses of the mailbox stamping.
+func direct(clu *sim.Cluster) *sim.Engine {
+	e := clu.Shard(1) // want `Cluster.Shard hands out a raw shard engine`
+	_ = e
+	return clu.Global() // want `Cluster.Global hands out a raw shard engine`
+}
+
+// mailbox is the sanctioned cross-shard surface: stamped crossings and
+// G-phase closures on the engine you already run on.
+func mailbox(src, dst *sim.Engine) {
+	src.Send(dst, 5, func() {})
+	src.SendGlobal(func() {})
+}
+
+// wired shows the documented escape hatch for boot-time wiring.
+func wired(clu *sim.Cluster) *sim.Engine {
+	//hive:lint-ignore shardcross fixture: boot-time wiring before workers start
+	return clu.Shard(0)
+}
+
+// unrelated proves the check is type-based: a local type with the same
+// method names is not a sim.Cluster.
+type notCluster struct{}
+
+func (notCluster) Shard(int) int { return 0 }
+func (notCluster) Global() int   { return 0 }
+
+func fine(n notCluster) int { return n.Shard(1) + n.Global() }

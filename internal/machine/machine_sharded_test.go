@@ -1,0 +1,159 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// shardedMachine boots a 4-node machine on a 2-cell cluster: nodes 0,1 on
+// shard 1 and nodes 2,3 on shard 2, the smallest topology with both
+// same-shard and cross-shard traffic.
+func shardedMachine(workers int) (*sim.Cluster, *Machine) {
+	cfg := DefaultConfig()
+	c := sim.NewCluster(42, 2, sim.Time(700))
+	c.SetWorkers(workers)
+	m := New(c.Global(), cfg)
+	m.BindShard(0, c.Shard(1))
+	m.BindShard(1, c.Shard(1))
+	m.BindShard(2, c.Shard(2))
+	m.BindShard(3, c.Shard(2))
+	return c, m
+}
+
+// shardedMachineWorkload exercises SIPS (both directions across the shard
+// boundary and within one shard), remote page reads/writes through the
+// global hop, firewall grants, and careful clock reads, and digests all
+// observable outcomes. Worker counts must not change a byte of it.
+func shardedMachineWorkload(workers int) string {
+	c, m := shardedMachine(workers)
+	var mu [4][]string // per-node logs; each appended only by its own shard
+	logf := func(node int, f string, args ...any) {
+		mu[node] = append(mu[node], fmt.Sprintf(f, args...))
+	}
+	for n := 0; n < 4; n++ {
+		n := n
+		node := m.Nodes[n]
+		node.OnSIPS = func(msg *SIPSMsg) {
+			logf(n, "sips from p%d kind%d @%d", msg.From, msg.Kind, m.eng(n).Now())
+		}
+	}
+	// Cross-shard page traffic: node 0's task writes into node 2's memory
+	// (firewall granted first by node 2's local task).
+	lo2, _ := m.NodePages(2)
+	e1, e2 := c.Shard(1), c.Shard(2)
+	e2.Go("granter", func(t *sim.Task) {
+		if err := m.GrantWrite(t, m.Procs[2], lo2, m.NodeProcMask(0)); err != nil {
+			logf(2, "grant err %v", err)
+		}
+	})
+	e1.Go("writer", func(t *sim.Task) {
+		t.Sleep(5000) // let the grant land
+		for i := 0; i < 8; i++ {
+			if err := m.WritePage(t, m.Procs[0], lo2, uint64(100+i)); err != nil {
+				logf(0, "w%d err %v @%d", i, err, t.Now())
+			} else {
+				logf(0, "w%d ok @%d", i, t.Now())
+			}
+			tag, corrupt, err := m.ReadPage(t, m.Procs[0], lo2)
+			logf(0, "r%d tag=%d corrupt=%v err=%v @%d", i, tag, corrupt, err, t.Now())
+		}
+	})
+	// SIPS in both directions plus a same-shard send (node 0 -> node 1).
+	e1.Go("sips01", func(t *sim.Task) {
+		for i := 0; i < 6; i++ {
+			t.Sleep(sim.Time(900 + 130*i))
+			m.SendSIPS(t, m.Procs[0], &SIPSMsg{To: 1, Kind: SIPSRequest, Size: 64})
+			m.SendSIPS(t, m.Procs[0], &SIPSMsg{To: 3, Kind: SIPSRequest, Size: 64})
+		}
+	})
+	e2.Go("sips23", func(t *sim.Task) {
+		for i := 0; i < 6; i++ {
+			t.Sleep(sim.Time(1100 + 170*i))
+			m.SendSIPS(t, m.Procs[3], &SIPSMsg{To: 0, Kind: SIPSReply, Size: 32})
+		}
+	})
+	// Clock ticks on node 2, careful reads from node 1 across the boundary.
+	e2.Go("clock2", func(t *sim.Task) {
+		for i := 0; i < 30; i++ {
+			t.Sleep(1000)
+			m.TickClock(t, m.Procs[2], 2)
+		}
+	})
+	e1.Go("monitor", func(t *sim.Task) {
+		for i := 0; i < 6; i++ {
+			t.Sleep(4000)
+			v, err := m.ReadClockWord(t, m.Procs[1], 2)
+			logf(1, "clk=%d err=%v @%d", v, err, t.Now())
+		}
+	})
+	c.Run(0)
+	var b strings.Builder
+	for n, lg := range mu {
+		fmt.Fprintf(&b, "== node %d ==\n", n)
+		for _, line := range lg {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "sends=%d reads=%d writes=%d now=%d\n",
+		m.Metrics.Counter("sips.sends").Value(),
+		m.Metrics.Counter("mem.reads").Value(),
+		m.Metrics.Counter("mem.writes").Value(),
+		c.Now())
+	return b.String()
+}
+
+func TestMachineShardedIdentity(t *testing.T) {
+	ref := shardedMachineWorkload(1)
+	if !strings.Contains(ref, "w0 ok") || !strings.Contains(ref, "clk=") {
+		t.Fatalf("workload did not exercise the cross-shard paths:\n%s", ref)
+	}
+	for _, w := range []int{2, 4} {
+		if got := shardedMachineWorkload(w); got != ref {
+			t.Fatalf("workers=%d diverged from serial reference:\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, ref, w, got)
+		}
+	}
+}
+
+// TestMachineShardedRemoteReadSeesOwnerWrites pins down the visibility
+// contract: a remote read hopping to the global phase observes every write
+// the owning shard performed in windows up to and including the current one.
+func TestMachineShardedRemoteReadSeesOwnerWrites(t *testing.T) {
+	c, m := shardedMachine(2)
+	lo2, _ := m.NodePages(2)
+	e1, e2 := c.Shard(1), c.Shard(2)
+	e2.Go("owner", func(tk *sim.Task) {
+		for i := 1; i <= 20; i++ {
+			if err := m.WritePage(tk, m.Procs[2], lo2, uint64(i)); err != nil {
+				t.Errorf("local write %d: %v", i, err)
+			}
+			tk.Sleep(500)
+		}
+	})
+	var got []uint64
+	e1.Go("reader", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			tk.Sleep(2000)
+			v, _, err := m.ReadPage(tk, m.Procs[0], lo2)
+			if err != nil {
+				t.Errorf("remote read: %v", err)
+			}
+			got = append(got, v)
+		}
+	})
+	c.Run(0)
+	if len(got) != 5 {
+		t.Fatalf("reader observed %d values, want 5", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("remote reads went backwards: %v", got)
+		}
+	}
+	if got[len(got)-1] == 0 {
+		t.Fatalf("remote reads never observed an owner write: %v", got)
+	}
+}

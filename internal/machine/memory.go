@@ -24,6 +24,16 @@ func (m *Machine) ReadPage(t *sim.Task, proc *Processor, p PageNum) (tag uint64,
 		return 0, false, err
 	}
 	m.Metrics.Counter("mem.reads").Inc()
+	if g := m.eng(home.ID); g != m.eng(proc.Node.ID) {
+		// Sharded run, remote page: its state belongs to another cell's
+		// shard, so the read hops to the global phase (every shard
+		// quiescent) instead of racing the owner's window.
+		proc.eng.Global(t, func() {
+			ps := &m.pages[p]
+			tag, corrupt = ps.tag, ps.corrupt
+		})
+		return tag, corrupt, nil
+	}
 	ps := &m.pages[p]
 	return ps.tag, ps.corrupt, nil
 }
@@ -46,6 +56,23 @@ func (m *Machine) WritePage(t *sim.Task, proc *Processor, p PageNum, tag uint64)
 		m.Metrics.Counter("mem.bus_errors").Inc()
 		return err
 	}
+	if g := m.eng(home.ID); g != m.eng(proc.Node.ID) {
+		// Sharded run, remote page: the firewall check and the store both
+		// touch the home shard's state, so the ownership request hops to
+		// the global phase.
+		var werr error
+		proc.eng.Global(t, func() {
+			if werr = m.checkFirewall(proc.ID, p); werr != nil {
+				return
+			}
+			ps := &m.pages[p]
+			ps.tag = tag
+			ps.corrupt = false
+			ps.writes++
+			m.Metrics.Counter("mem.writes").Inc()
+		})
+		return werr
+	}
 	if err := m.checkFirewall(proc.ID, p); err != nil {
 		return err
 	}
@@ -59,7 +86,10 @@ func (m *Machine) WritePage(t *sim.Task, proc *Processor, p PageNum, tag uint64)
 
 // WildWrite models an erroneous store from a faulty kernel: if the firewall
 // admits the write, the page content is corrupted. It reports whether the
-// write landed (false means the firewall or fault model blocked it).
+// write landed (false means the firewall or fault model blocked it). It has
+// no task to hop with, so in a sharded run a cross-shard wild write must be
+// issued from the global phase (fault injectors run there); same-node wild
+// writes are always safe.
 func (m *Machine) WildWrite(proc *Processor, p PageNum) bool {
 	home := m.Nodes[m.HomeNode(p)]
 	if home.accessible(proc.Node.ID) != nil {
@@ -79,6 +109,8 @@ func (m *Machine) WildWrite(proc *Processor, p PageNum) bool {
 
 // DMAWrite is a write from an I/O device on node ioNode; the coherence
 // controller checks it as if it came from that node's processor (§4.2).
+// Like WildWrite it carries no task: sharded runs may call it only for
+// pages homed on ioNode's own shard or from the global phase.
 func (m *Machine) DMAWrite(ioNode int, p PageNum, tag uint64) error {
 	home := m.Nodes[m.HomeNode(p)]
 	if err := home.accessible(ioNode); err != nil {
@@ -167,10 +199,10 @@ func (m *Machine) SetFirewall(t *sim.Task, proc *Processor, p PageNum, bits uint
 	if old := m.pages[p].fw; old&^bits != 0 {
 		cost += m.Cfg.UncachedNs // revocation: wait for pending writebacks
 		m.Metrics.Counter("firewall.revocations").Inc()
-		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
+		m.tracer(proc.Node.ID).Emit(proc.eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
 	} else {
 		m.Metrics.Counter("firewall.grants").Inc()
-		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
+		m.tracer(proc.Node.ID).Emit(proc.eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
 	}
 	proc.Use(t, cost)
 	m.pages[p].fw = bits
@@ -189,10 +221,10 @@ func (m *Machine) SetFirewallIntr(proc *Processor, p PageNum, bits uint64) (sim.
 	if old := m.pages[p].fw; old&^bits != 0 {
 		cost += m.Cfg.UncachedNs
 		m.Metrics.Counter("firewall.revocations").Inc()
-		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
+		m.tracer(proc.Node.ID).Emit(proc.eng.Now(), trace.FirewallRevoke, int64(p), int64(bits), "")
 	} else {
 		m.Metrics.Counter("firewall.grants").Inc()
-		m.tracer(proc.Node.ID).Emit(m.Eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
+		m.tracer(proc.Node.ID).Emit(proc.eng.Now(), trace.FirewallGrant, int64(p), int64(bits), "")
 	}
 	m.pages[p].fw = bits
 	return cost, nil

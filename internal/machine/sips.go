@@ -135,13 +135,29 @@ func (m *Machine) SendSIPSAsync(proc *Processor, msg *SIPSMsg) error {
 	return nil
 }
 
+// sendWire schedules fn after the wire delay on the destination node's
+// engine, routing through the cluster's deterministic mailbox when source
+// and destination live on different shards. The wire latency is the
+// cluster's lookahead floor, so the mailbox delay constraint holds by
+// construction.
+func (m *Machine) sendWire(srcNode, dstNode int, delay sim.Time, fn func()) {
+	src := m.eng(srcNode)
+	if dst := m.eng(dstNode); dst != src {
+		src.Send(dst, delay, fn)
+		return
+	}
+	src.After(delay, fn)
+}
+
 // launchSIPS is the shared wire path of SendSIPS and SendSIPSAsync: it
 // stamps the hardware checksum, consults the fault hook, and schedules
 // delivery after the wire latency. srcNode is the sending node (for trace
 // attribution).
 func (m *Machine) launchSIPS(srcNode int, msg *SIPSMsg) {
+	e := m.eng(srcNode)
+	dstNode := m.Procs[msg.To].Node.ID
 	m.Metrics.Counter("sips.sends").Inc()
-	m.tracer(srcNode).Emit(m.Eng.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
+	m.tracer(srcNode).Emit(e.Now(), trace.SIPS, int64(msg.To), int64(msg.Kind), "")
 	msg.Checksum = sipsChecksum(msg)
 
 	delay := m.wireLatency()
@@ -149,22 +165,22 @@ func (m *Machine) launchSIPS(srcNode int, msg *SIPSMsg) {
 		switch d := m.FaultHook(msg); d.Fault {
 		case FaultDrop:
 			m.Metrics.Counter("sips.fault_drops").Inc()
-			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDrop, int64(msg.To), int64(msg.Kind), "")
+			m.tracer(srcNode).Emit(e.Now(), trace.MsgDrop, int64(msg.To), int64(msg.Kind), "")
 			return
 		case FaultDelay:
 			m.Metrics.Counter("sips.fault_delays").Inc()
-			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDelay, int64(msg.To), int64(d.Delay), "")
+			m.tracer(srcNode).Emit(e.Now(), trace.MsgDelay, int64(msg.To), int64(d.Delay), "")
 			delay += d.Delay
 		case FaultDup:
 			m.Metrics.Counter("sips.fault_dups").Inc()
-			m.tracer(srcNode).Emit(m.Eng.Now(), trace.MsgDup, int64(msg.To), int64(msg.Kind), "")
-			m.Eng.After(delay+m.wireLatency(), func() { m.deliverSIPS(msg) })
+			m.tracer(srcNode).Emit(e.Now(), trace.MsgDup, int64(msg.To), int64(msg.Kind), "")
+			m.sendWire(srcNode, dstNode, delay+m.wireLatency(), func() { m.deliverSIPS(msg) })
 		case FaultCorrupt:
 			m.Metrics.Counter("sips.fault_corruptions").Inc()
 			msg.Checksum ^= 0xA5A5A5A5 // bits flipped in flight
 		}
 	}
-	m.Eng.After(delay, func() { m.deliverSIPS(msg) })
+	m.sendWire(srcNode, dstNode, delay, func() { m.deliverSIPS(msg) })
 }
 
 // deliverSIPS is the receive side: the hardware drops lines addressed to
@@ -179,7 +195,7 @@ func (m *Machine) deliverSIPS(msg *SIPSMsg) {
 	}
 	if msg.Checksum != sipsChecksum(msg) {
 		m.Metrics.Counter("sips.checksum_drops").Inc()
-		m.tracer(dstNode.ID).Emit(m.Eng.Now(), trace.MsgCorrupt, int64(msg.To), int64(msg.Kind), "")
+		m.tracer(dstNode.ID).Emit(m.eng(dstNode.ID).Now(), trace.MsgCorrupt, int64(msg.To), int64(msg.Kind), "")
 		return // detected corruption: discarded, never reaches software
 	}
 	handler := dstNode.OnSIPS
@@ -202,7 +218,7 @@ func (m *Machine) SendIPI(t *sim.Task, proc *Processor, to int, fn func()) error
 	if err := dstProc.Node.accessible(proc.Node.ID); err != nil {
 		return err
 	}
-	m.Eng.After(m.wireLatency(), func() {
+	m.sendWire(proc.Node.ID, dstProc.Node.ID, m.wireLatency(), func() {
 		if dstProc.Halted() {
 			return
 		}

@@ -57,24 +57,24 @@ type Coordinator struct {
 
 // round is one agreement/recovery round.
 type round struct {
-	key      string
-	suspect  int
-	accuser  int
-	members  map[int]bool // live cells minus suspect
-	joined   map[int]bool // members that have taken up the round
-	votes    map[int]bool // cell -> votesDead
+	key     string
+	suspect int
+	accuser int
+	members map[int]bool // live cells minus suspect
+	joined  map[int]bool // members that have taken up the round
+	votes   map[int]bool // cell -> votesDead
 	// deadVotes counts the true entries in votes, maintained incrementally
 	// on insert and withdrawal so the tally never rescans the vote map —
 	// the rescans were O(members²) per round at large cell counts.
 	deadVotes int
-	verdict  *sim.Future  // resolves to map[int]bool of confirmed-dead cells
-	applied  bool
-	barrier1 *sim.Barrier
-	barrier2 *sim.Barrier
-	b1Seen   map[int]bool
-	b2Seen   map[int]bool
-	done     map[int]bool
-	entered  map[int]sim.Time
+	verdict   *sim.Future // resolves to map[int]bool of confirmed-dead cells
+	applied   bool
+	barrier1  *sim.Barrier
+	barrier2  *sim.Barrier
+	b1Seen    map[int]bool
+	b2Seen    map[int]bool
+	done      map[int]bool
+	entered   map[int]sim.Time
 
 	// coordinator is the member that drives the round's post-barrier
 	// work (diagnostics, reintegration): the lowest live member at round
@@ -212,9 +212,15 @@ func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) (*round, bool) {
 }
 
 // agree resolves the round's verdict for one member cell and returns the
-// set of confirmed-dead cells (empty = false alarm).
+// set of confirmed-dead cells (empty = false alarm). Round state is only
+// touched in global sections; the liveness probe is real RPC traffic from
+// the member's cell and runs on its own shard between them.
 func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
-	if !r.verdict.Ready() {
+	needVote := false
+	mon.global(t, func() {
+		if r.verdict.Ready() {
+			return
+		}
 		switch {
 		case c.forcedDead[r.suspect]:
 			// Corrupt-accuser rule already branded the suspect.
@@ -228,19 +234,28 @@ func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
 		default:
 			// Voting: this member probes and records its vote; the
 			// last vote tallies.
-			if _, voted := r.votes[mon.CellID]; !voted {
-				r.votes[mon.CellID] = !mon.probe(t, r.suspect)
-				dead := int64(0)
-				if r.votes[mon.CellID] {
-					dead = 1
-					r.deadVotes++
-				}
-				mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "")
-				c.tallyVotes(r)
-			}
+			_, voted := r.votes[mon.CellID]
+			needVote = !voted
 		}
+	})
+	if needVote {
+		alive := mon.probe(t, r.suspect)
+		mon.global(t, func() {
+			if _, voted := r.votes[mon.CellID]; voted {
+				return
+			}
+			r.votes[mon.CellID] = !alive
+			dead := int64(0)
+			if r.votes[mon.CellID] {
+				dead = 1
+				r.deadVotes++
+			}
+			mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "")
+			c.tallyVotes(r)
+		})
 	}
-	v, _ := r.verdict.Wait(t)
+	var v any
+	mon.global(t, func() { v, _ = r.verdict.Wait(t) })
 	return v.(map[int]bool)
 }
 

@@ -136,11 +136,20 @@ func NewMonitor(m *machine.Machine, ep *rpc.Endpoint, coord *Coordinator, cellID
 // Start launches the clock tick task, the neighbour watch task, and the
 // recovery agent task.
 func (mon *Monitor) Start() {
-	eng := mon.M.Eng
+	eng := mon.eng()
 	eng.Go(fmt.Sprintf("cell%d.clock", mon.CellID), mon.clockLoop)
 	eng.Go(fmt.Sprintf("cell%d.watch", mon.CellID), mon.watchLoop)
 	eng.Go(fmt.Sprintf("cell%d.recovery", mon.CellID), mon.recoveryLoop)
 }
+
+// eng returns the shard this cell's monitor tasks run on.
+func (mon *Monitor) eng() *sim.Engine { return mon.EP.Engine() }
+
+// global runs fn with every shard quiescent. Coordinator and round state
+// is shared across every member cell — in the real system it is replicated
+// by membership messages; here a sharded run touches it only in the global
+// phase, where no cell shard can race it. In a classic run fn runs inline.
+func (mon *Monitor) global(t *sim.Task, fn func()) { mon.eng().Global(t, fn) }
 
 // Stop marks the monitor dead (its cell failed or panicked).
 func (mon *Monitor) Stop() {
@@ -234,12 +243,12 @@ func (mon *Monitor) Hint(suspect int, reason string) {
 	mon.alerting[suspect] = true
 	mon.seq++
 	mon.Metrics.Counter("membership.hints").Inc()
-	mon.Tracer.Emit(mon.M.Eng.Now(), trace.Hint, int64(suspect), 0, reason)
+	mon.Tracer.Emit(mon.eng().Now(), trace.Hint, int64(suspect), 0, reason)
 	msg := &alertMsg{Suspect: suspect, Accuser: mon.CellID, Reason: reason, Sequence: mon.seq}
 	// Deliver locally, then broadcast. The broadcast runs as its own
 	// task since Hint may be called from interrupt/engine context.
 	mon.alerts.Push(msg)
-	mon.M.Eng.Go(fmt.Sprintf("cell%d.alertcast", mon.CellID), func(t *sim.Task) {
+	mon.eng().Go(fmt.Sprintf("cell%d.alertcast", mon.CellID), func(t *sim.Task) {
 		span := mon.Tracer.Begin(t.Now(), "recovery:alert")
 		mon.Tracer.Emit(t.Now(), trace.Alert, int64(suspect), 0, reason)
 		var peers []int
@@ -254,7 +263,7 @@ func (mon *Monitor) Hint(suspect int, reason string) {
 		join := sim.NewBarrier(len(peers) + 1)
 		for _, c := range peers {
 			c := c
-			mon.M.Eng.Go(fmt.Sprintf("cell%d.alert%d", mon.CellID, c), func(t *sim.Task) {
+			mon.eng().Go(fmt.Sprintf("cell%d.alert%d", mon.CellID, c), func(t *sim.Task) {
 				mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
 					rpc.CallOpts{DataBytes: 64, NoHint: true})
 				join.Await(t)
@@ -280,7 +289,9 @@ func (mon *Monitor) recoveryLoop(t *sim.Task) {
 		// No liveness precheck here: the verdict may already have
 		// removed the suspect from the live set while this member was
 		// still on its way to the round; ensureRound folds it in.
-		round, retry := mon.Coord.ensureRound(alert, mon.CellID)
+		var round *round
+		var retry bool
+		mon.global(t, func() { round, retry = mon.Coord.ensureRound(alert, mon.CellID) })
 		if round == nil {
 			if retry {
 				// The coordinator is serving a round for a different
@@ -336,7 +347,7 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 			mon.Hooks.ResumeUser()
 		}
 		accused := r.corruptAccuser
-		mon.Coord.finishRound(r, mon.CellID)
+		mon.global(t, func() { mon.Coord.finishRound(r, mon.CellID) })
 		if accused >= 0 && accused != mon.CellID {
 			mon.Hint(accused, "corrupt after repeated voted-down alerts")
 		}
@@ -344,7 +355,7 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	}
 
 	// Confirmed failure: enter recovery.
-	mon.Coord.noteRecoveryEntered(r, mon.CellID, mon.M.Eng.Now())
+	mon.global(t, func() { mon.Coord.noteRecoveryEntered(r, mon.CellID, t.Now()) })
 	mon.Metrics.Counter("membership.recoveries").Inc()
 
 	proc := mon.proc()
@@ -360,9 +371,14 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	if mon.Hooks.Phase1 != nil {
 		mon.Hooks.Phase1(t)
 	}
-	r.b1Seen[mon.CellID] = true
-	r.barrier1.Await(t)
-	mon.Coord.noteBarrier1Open(r)
+	// The barrier and its bookkeeping live in the global phase: every
+	// member arrives there, the last one's wake-ups land on the global
+	// heap, and the fault-injection hook fires with all shards quiescent.
+	mon.global(t, func() {
+		r.b1Seen[mon.CellID] = true
+		r.barrier1.Await(t)
+		mon.Coord.noteBarrier1Open(r)
+	})
 	mon.Tracer.End(t.Now(), b1Span, "recovery:barrier1", 0)
 
 	b2Span := mon.Tracer.Begin(t.Now(), "recovery:barrier2")
@@ -378,8 +394,10 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	if mon.Hooks.KillDependents != nil {
 		killed = int64(mon.Hooks.KillDependents(verdict))
 	}
-	r.b2Seen[mon.CellID] = true
-	r.barrier2.Await(t)
+	mon.global(t, func() {
+		r.b2Seen[mon.CellID] = true
+		r.barrier2.Await(t)
+	})
 	mon.Tracer.End(t.Now(), b2Span, "recovery:barrier2", discarded+killed)
 	if mon.dead {
 		return
@@ -392,7 +410,7 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	if mon.Hooks.ResumeUser != nil {
 		mon.Hooks.ResumeUser()
 	}
-	mon.Coord.noteRecoveryDone(r, mon.CellID, mon.M.Eng.Now())
+	mon.global(t, func() { mon.Coord.noteRecoveryDone(r, mon.CellID, t.Now()) })
 	mon.Tracer.End(t.Now(), resumeSpan, "recovery:resume", 0)
 
 	// The round coordinator (the recovery master — lowest live member,
@@ -404,7 +422,7 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 			mon.runDiagnostics(t, c)
 		}
 	}
-	mon.Coord.finishRound(r, mon.CellID)
+	mon.global(t, func() { mon.Coord.finishRound(r, mon.CellID) })
 }
 
 // runDiagnostics checks a failed cell's nodes and reintegrates when
@@ -424,18 +442,22 @@ func (mon *Monitor) runDiagnostics(t *sim.Task, cell int) {
 	if !healthy {
 		return
 	}
-	for _, n := range mon.Coord.nodesOf(cell) {
-		mon.M.Nodes[n].Repair()
-	}
-	mon.Coord.reintegrate(cell)
-	// Notify peers in cell order: the hooks touch live kernel state, so
-	// map iteration order must not leak into the simulation.
-	for _, id := range sortedMonitorIDs(mon.Coord.monitors) {
-		peer := mon.Coord.monitors[id]
-		if peer.Hooks.Reintegrate != nil && !peer.dead && peer.CellID != cell {
-			peer.Hooks.Reintegrate(cell)
+	// Node repair, the live-set update, and the peer notifications all
+	// touch other cells' state: one global section covers the lot.
+	mon.global(t, func() {
+		for _, n := range mon.Coord.nodesOf(cell) {
+			mon.M.Nodes[n].Repair()
 		}
-	}
+		mon.Coord.reintegrate(cell)
+		// Notify peers in cell order: the hooks touch live kernel state, so
+		// map iteration order must not leak into the simulation.
+		for _, id := range sortedMonitorIDs(mon.Coord.monitors) {
+			peer := mon.Coord.monitors[id]
+			if peer.Hooks.Reintegrate != nil && !peer.dead && peer.CellID != cell {
+				peer.Hooks.Reintegrate(cell)
+			}
+		}
+	})
 	mon.Metrics.Counter("membership.reintegrations").Inc()
 }
 

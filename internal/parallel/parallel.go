@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Runner executes independent jobs on a fixed-size worker pool. A Runner is
@@ -146,4 +147,14 @@ func MapErr[T any](r *Runner, n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, firstErr
+}
+
+// WallTimer starts a real-time stopwatch and returns a function reporting
+// the seconds elapsed since the call. It exists for reporting the
+// simulator's own dispatch rate (events per wall second); wall clock must
+// never feed back into model state, so the returned value belongs in
+// report-only fields, not gated metrics.
+func WallTimer() func() float64 {
+	t0 := time.Now()
+	return func() float64 { return time.Since(t0).Seconds() }
 }

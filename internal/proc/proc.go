@@ -159,7 +159,7 @@ func (pt *Table) spawn(name string, group, parent int, leaf kmem.Addr, body Body
 	pt.nextPID += pt.Cells
 	pt.procs[p.PID] = p
 	pt.Metrics.Counter("proc.spawned").Inc()
-	p.Task = pt.EP.M.Eng.Go(fmt.Sprintf("cell%d.%s.%d", pt.CellID, name, p.PID), func(t *sim.Task) {
+	p.Task = pt.EP.Engine().Go(fmt.Sprintf("cell%d.%s.%d", pt.CellID, name, p.PID), func(t *sim.Task) {
 		t.Data = p
 		defer pt.reap(p)
 		body(p, t)
@@ -185,7 +185,7 @@ func (pt *Table) reap(p *Process) {
 	}
 	p.refs = nil
 	if len(release) > 0 {
-		pt.EP.M.Eng.Go(fmt.Sprintf("cell%d.unmap.%d", pt.CellID, p.PID), func(t *sim.Task) {
+		pt.EP.Engine().Go(fmt.Sprintf("cell%d.unmap.%d", pt.CellID, p.PID), func(t *sim.Task) {
 			for _, pf := range release {
 				if pf.Refs == 0 && pf.ImportedFrom >= 0 && pf.Valid {
 					pt.VM.Release(t, pf)
@@ -441,18 +441,36 @@ func (pt *Table) SpawnSpanning(t *sim.Task, name string, group int, tables []*Ta
 	}
 	pt.nextSpn++
 	span := &Span{ID: pt.nextSpn}
-	for _, tbl := range tables {
-		p := tbl.spawn(name, group, 0, tbl.COW.NewRoot(), body)
-		p.Span = span
-		// Every thread depends on every member cell: the whole task
-		// dies if any member cell fails (§2: large applications that
-		// use the whole system get no reliability benefit).
-		span.Threads = append(span.Threads, p)
-	}
-	for _, p := range span.Threads {
-		for _, q := range span.Threads {
-			p.Deps[q.Cell] = true
+	spawnAll := func() {
+		for _, tbl := range tables {
+			p := tbl.spawn(name, group, 0, tbl.COW.NewRoot(), body)
+			p.Span = span
+			// Every thread depends on every member cell: the whole task
+			// dies if any member cell fails (§2: large applications that
+			// use the whole system get no reliability benefit).
+			span.Threads = append(span.Threads, p)
 		}
+		for _, p := range span.Threads {
+			for _, q := range span.Threads {
+				p.Deps[q.Cell] = true
+			}
+		}
+	}
+	// Member tables on other shards: their PID counters, process maps, and
+	// COW roots belong to those shards, so the whole creation runs in the
+	// global phase; each thread then starts on its own cell's shard at the
+	// window edge.
+	hop := false
+	for _, tbl := range tables {
+		if tbl.EP.Engine() != pt.EP.Engine() {
+			hop = true
+			break
+		}
+	}
+	if hop {
+		pt.EP.Engine().Global(t, spawnAll)
+	} else {
+		spawnAll()
 	}
 	pt.Metrics.Counter("proc.spanning_tasks").Inc()
 	return span, nil

@@ -181,6 +181,7 @@ type Endpoint struct {
 	// layer).
 	Tracer *trace.Tracer
 
+	eng       *sim.Engine // the shard this cell's processors are bound to
 	services  map[ProcID]*service
 	pending   map[uint64]*Request
 	queue     *sim.Queue
@@ -210,6 +211,13 @@ func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poo
 		seen:     map[dedupKey]*dedupEntry{},
 	}
 	ep.histCall = ep.Metrics.Hist("rpc.call_us")
+	// The endpoint lives on the shard its processors are bound to (the
+	// machine's single engine in a classic run); server tasks, interrupt
+	// handlers, and trace stamps all belong there.
+	ep.eng = m.Eng
+	if len(procs) > 0 {
+		ep.eng = m.NodeEngine(procs[0].Node.ID)
+	}
 	seen := map[int]bool{}
 	for _, p := range procs {
 		if !seen[p.Node.ID] {
@@ -218,10 +226,13 @@ func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poo
 		}
 	}
 	for i := 0; i < poolSize; i++ {
-		m.Eng.Go(fmt.Sprintf("cell%d.rpcserver%d", cellID, i), ep.serverLoop)
+		ep.eng.Go(fmt.Sprintf("cell%d.rpcserver%d", cellID, i), ep.serverLoop)
 	}
 	return ep
 }
+
+// Engine returns the shard this endpoint's cell runs on.
+func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
 
 // Connect wires two endpoints so they can address each other.
 func Connect(eps ...*Endpoint) {
@@ -286,10 +297,24 @@ func (ep *Endpoint) PeerIDs() []int {
 	return out
 }
 
-// targetProc picks the destination processor on the callee cell,
-// round-robin over its non-halted processors.
-func (ep *Endpoint) targetProc(callee *Endpoint) *machine.Processor {
+// targetProc picks the destination processor on the callee cell for call
+// id, round-robin over its non-halted processors. In a sharded run the
+// round-robin cursor belongs to the callee's shard and cannot be mutated
+// from here, so the pick becomes a pure function of the call id — the same
+// load spreading, derived from a value both sides agree on. (The halted
+// flags it reads only change in the global phase, so a cross-shard read
+// sees a stable, deterministic value.)
+func (ep *Endpoint) targetProc(callee *Endpoint, id uint64) *machine.Processor {
 	n := len(callee.Procs)
+	if ep.eng.Cluster() != nil && callee.eng != ep.eng {
+		for i := 0; i < n; i++ {
+			p := callee.Procs[(int(id%uint64(n))+i)%n]
+			if !p.Halted() {
+				return p
+			}
+		}
+		return callee.Procs[0]
+	}
 	for i := 0; i < n; i++ {
 		p := callee.Procs[(callee.rrProc+i)%n]
 		if !p.Halted() {
@@ -377,7 +402,7 @@ func (ep *Endpoint) Call(t *sim.Task, proc *machine.Processor, to int, procID Pr
 	var ferr error
 	var ok2 bool
 	for attempt := 0; attempt < attempts; attempt++ {
-		dst := ep.targetProc(callee)
+		dst := ep.targetProc(callee, req.ID)
 		msg := &machine.SIPSMsg{To: dst.ID, Kind: machine.SIPSRequest, Size: machine.SIPSLineBytes, Payload: req}
 		sendStart := t.Now()
 		if err := ep.M.SendSIPS(t, proc, msg); err != nil {
@@ -515,7 +540,7 @@ func (ep *Endpoint) handleRequest(msg *machine.SIPSMsg) {
 	req := msg.Payload.(*Request)
 	proc := ep.M.Procs[msg.To]
 	svc := ep.services[req.Proc]
-	ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCRecv, req.Span, int64(req.From), int64(req.Proc), "")
+	ep.Tracer.EmitSpan(ep.eng.Now(), trace.RPCRecv, req.Span, int64(req.From), int64(req.Proc), "")
 
 	// Interrupt entry + demux.
 	base := IntrEntryExit + ServerDispatch
@@ -591,8 +616,8 @@ func (ep *Endpoint) reply(proc *machine.Processor, req *Request, result any, err
 		return
 	}
 	proc.Interrupt(cost, func() {
-		ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
-		dst := ep.targetProc(caller)
+		ep.Tracer.EmitSpan(ep.eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
+		dst := ep.targetProc(caller, req.ID)
 		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
 			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
 		})
@@ -608,8 +633,8 @@ func (ep *Endpoint) resend(proc *machine.Processor, req *Request, rep *reply) {
 		return
 	}
 	proc.Interrupt(ServerReply, func() {
-		ep.Tracer.EmitSpan(ep.M.Eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
-		dst := ep.targetProc(caller)
+		ep.Tracer.EmitSpan(ep.eng.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
+		dst := ep.targetProc(caller, req.ID)
 		ep.M.SendSIPSAsync(proc, &machine.SIPSMsg{
 			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
 		})
@@ -664,7 +689,7 @@ func (ep *Endpoint) serverLoop(t *sim.Task) {
 		}
 		proc.Use(t, ServerReply)
 		ep.Tracer.EmitSpan(t.Now(), trace.RPCReply, req.Span, int64(req.From), int64(req.Proc), "")
-		dst := ep.targetProc(caller)
+		dst := ep.targetProc(caller, req.ID)
 		ep.M.SendSIPS(t, proc, &machine.SIPSMsg{
 			To: dst.ID, Kind: machine.SIPSReply, Size: machine.SIPSLineBytes, Payload: rep,
 		})

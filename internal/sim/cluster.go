@@ -1,0 +1,725 @@
+package sim
+
+// Sharded execution: a Cluster partitions one simulation across N+1 Engine
+// shards — shard 0 is the serial "global" shard owning machine-global and
+// boot-time events, shards 1..N each own one cell's events, tasks, and RNG
+// stream. Execution advances in conservative lookahead windows derived from
+// the minimum cross-cell latency (the 700 ns remote-miss/IPI floor of the
+// FLASH interconnect): within a window every cell shard runs independently
+// (in parallel when workers > 1), because no cross-shard interaction can
+// land earlier than the latency floor. At the window barrier, cross-shard
+// events are merged in an order fixed entirely by their stamp
+// (virtual time, source shard, per-edge sequence) — never by OS scheduling —
+// so a run with 1 worker and a run with N workers are byte-identical.
+//
+// Null messages are unnecessary: classic Chandy-Misra-Bryant needs them
+// because a process cannot know when an idle neighbor will next send. Here
+// the latency floor is static and global, so the barrier itself is the
+// proof of safety — after all shards reach the window edge, every message
+// that could affect the next window has been produced and merged.
+//
+// Cross-shard discipline (enforced at runtime, and statically by hivelint's
+// shardcross analyzer):
+//
+//   - Event traffic between cells goes through Engine.Send (the mailbox).
+//     The send delay must be >= the cluster lookahead.
+//   - Cross-cell *state* touches hop to the global phase via Engine.Global:
+//     the calling task parks, shard 0 adopts it for the duration of the
+//     critical section (all cell shards are quiescent, so the section may
+//     touch anything), and the task returns home at the next window edge.
+//   - Engine-context code (no task) reaches the global phase with
+//     Engine.SendGlobal.
+//   - Tasks never migrate between shards. A cross-shard schedule or
+//     dispatch panics with a diagnostic in serial mode; in parallel mode it
+//     is a data race caught by the race detector and the identity gate.
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Cluster phases. Idle between windows (and before Run), P while cell
+// shards execute a window, G while shard 0 executes the same window
+// exclusively.
+const (
+	phaseIdle = int32(iota)
+	phaseP
+	phaseG
+)
+
+// Cluster is a set of Engine shards advancing in lockstep lookahead
+// windows. Shard 0 is the global shard; shards 1..N belong to cells.
+type Cluster struct {
+	shards    []*Engine
+	lookahead Time
+	workers   int
+
+	now     Time // grid progress: every shard has processed all events < now
+	horizon Time // end (exclusive) of the window currently executing
+	phase   atomic.Int32
+	// serialCur is the shard whose window is executing when workers == 1
+	// (or shard 0 during the G phase); -1 otherwise. It exists so serial
+	// runs can diagnose cross-shard schedule violations deterministically.
+	serialCur int
+
+	mail    [][]mailLane // mail[src][dst]
+	hops    []hopLane    // per-source-shard Global/SendGlobal entries
+	stopped atomic.Bool
+}
+
+// mailLane buffers cross-shard events from one source shard to one
+// destination shard. Only the source shard appends (during its window);
+// the coordinator drains it at the barrier, so no locking is needed.
+type mailLane struct {
+	seq     uint64
+	entries []*crossEvent
+}
+
+// crossEvent is one mailbox entry. fn == nil marks a cancellation marker
+// targeting the earlier entry with sequence cancelSeq on the same edge.
+type crossEvent struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	merged    bool
+	cancelSeq uint64
+}
+
+// hopLane buffers requests for the global phase from one source shard.
+type hopLane struct {
+	seq     uint64
+	entries []hopEntry
+}
+
+type hopEntry struct {
+	at  Time
+	seq uint64
+	src int
+	t   *Task  // adoption request from Engine.Global, or
+	fn  func() // plain callback from Engine.SendGlobal
+}
+
+// crossKey identifies an in-flight merged cross event for cancellation.
+type crossKey struct {
+	src int
+	seq uint64
+}
+
+// shardSeed derives an independent RNG seed for one shard from the root
+// seed (splitmix64 finalizer), so the shard count never changes any
+// shard's draw sequence.
+func shardSeed(root int64, id int) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewCluster returns a cluster with n cell shards (ids 1..n) plus the
+// global shard 0, all at virtual time 0. lookahead is the minimum
+// cross-shard latency: no Engine.Send may use a smaller delay, and it sets
+// the window size. Workers defaults to 1 (the serial reference order);
+// raise it with SetWorkers.
+func NewCluster(seed int64, n int, lookahead Time) *Cluster {
+	if n < 1 {
+		panic("sim: cluster needs at least one cell shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: cluster lookahead must be positive")
+	}
+	c := &Cluster{lookahead: lookahead, workers: 1, serialCur: -1}
+	c.shards = make([]*Engine, n+1)
+	for i := range c.shards {
+		e := NewEngine(shardSeed(seed, i))
+		e.clu = c
+		e.id = i
+		c.shards[i] = e
+	}
+	c.mail = make([][]mailLane, n+1)
+	for i := range c.mail {
+		c.mail[i] = make([]mailLane, n+1)
+	}
+	c.hops = make([]hopLane, n+1)
+	return c
+}
+
+// SetWorkers sets how many OS goroutines execute cell shards during the
+// parallel phase. 1 runs shards serially in shard order — the reference
+// execution every other worker count must match byte-for-byte.
+func (c *Cluster) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.workers = n
+}
+
+// Workers returns the configured worker count.
+func (c *Cluster) Workers() int { return c.workers }
+
+// Lookahead returns the window size.
+func (c *Cluster) Lookahead() Time { return c.lookahead }
+
+// Global returns the global shard (shard 0).
+func (c *Cluster) Global() *Engine { return c.shards[0] }
+
+// Shard returns shard id (0 = global, 1..N = cells).
+func (c *Cluster) Shard(id int) *Engine { return c.shards[id] }
+
+// NumShards returns the number of cell shards (excluding the global shard).
+func (c *Cluster) NumShards() int { return len(c.shards) - 1 }
+
+// Now returns the cluster's grid progress: every shard has processed all
+// events strictly before this time.
+func (c *Cluster) Now() Time { return c.now }
+
+// Stop halts the cluster at the next window barrier.
+func (c *Cluster) Stop() { c.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (c *Cluster) Stopped() bool { return c.stopped.Load() }
+
+// Dispatched returns the total events fired across all shards.
+func (c *Cluster) Dispatched() uint64 {
+	var n uint64
+	for _, s := range c.shards {
+		n += s.dispatched
+	}
+	return n
+}
+
+// Pending returns the number of scheduled, non-cancelled events across all
+// shards (buffered mailbox entries included).
+func (c *Cluster) Pending() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.nLive
+	}
+	for src := range c.mail {
+		for dst := range c.mail[src] {
+			for _, en := range c.mail[src][dst].entries {
+				if !en.cancelled && en.fn != nil {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// LiveTasks returns the number of live tasks across all shards.
+func (c *Cluster) LiveTasks() int {
+	n := 0
+	for _, s := range c.shards {
+		n += s.nTasks
+	}
+	return n
+}
+
+// StuckTasks returns "shardN:name" for every parked live task, sorted by
+// shard then name, so a simulated deadlock names the shard it lives on.
+func (c *Cluster) StuckTasks() []string {
+	var names []string
+	for id, s := range c.shards {
+		for _, name := range s.StuckTasks() {
+			names = append(names, fmt.Sprintf("shard%d:%s", id, name))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run advances the cluster until every shard is idle, the deadline passes,
+// or Stop is called. Semantics match Engine.Run: a deadline of 0 means run
+// until idle; events at exactly the deadline fire; the return value is the
+// final grid time (== deadline when one was given and not stopped early).
+func (c *Cluster) Run(deadline Time) Time {
+	for !c.stopped.Load() {
+		c.mergeMail()
+		next, ok := c.nextEventTime()
+		if !ok {
+			break
+		}
+		if deadline > 0 && next > deadline {
+			break
+		}
+		winStart := (next / c.lookahead) * c.lookahead
+		horizon := winStart + c.lookahead
+		if deadline > 0 && horizon > deadline+1 {
+			horizon = deadline + 1
+		}
+		c.horizon = horizon
+
+		// P phase: cell shards execute the window.
+		c.phase.Store(phaseP)
+		if c.workers <= 1 {
+			for id := 1; id < len(c.shards); id++ {
+				c.serialCur = id
+				s := c.shards[id]
+				s.running = true
+				s.runWindow(horizon)
+				s.running = false
+			}
+			c.serialCur = -1
+		} else {
+			c.runParallel(horizon)
+		}
+
+		// G phase: the global shard executes the same window exclusively.
+		c.phase.Store(phaseG)
+		c.serialCur = 0
+		c.mergeHops()
+		g := c.shards[0]
+		g.running = true
+		g.runWindow(horizon)
+		g.running = false
+		c.serialCur = -1
+		c.phase.Store(phaseIdle)
+
+		c.now = horizon
+		if deadline > 0 {
+			if c.now > deadline {
+				c.now = deadline
+			}
+			if horizon >= deadline+1 {
+				return c.now
+			}
+		}
+	}
+	if deadline > 0 && c.now < deadline && !c.stopped.Load() {
+		c.now = deadline
+	}
+	return c.now
+}
+
+// runParallel executes one window across the cell shards on up to
+// c.workers goroutines. Shards share no mutable state during the window,
+// so the only synchronization is the join; a panic on any shard is
+// re-raised on the coordinator (lowest shard id wins, deterministically).
+func (c *Cluster) runParallel(horizon Time) {
+	type job struct {
+		s *Engine
+	}
+	var jobs []job
+	for id := 1; id < len(c.shards); id++ {
+		if c.shards[id].hasWorkBefore(horizon) {
+			jobs = append(jobs, job{c.shards[id]})
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	if len(jobs) == 1 {
+		s := jobs[0].s
+		s.running = true
+		s.runWindow(horizon)
+		s.running = false
+		return
+	}
+	failures := make([]any, len(jobs))
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	workers := c.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				s := jobs[i].s
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							failures[i] = r
+						}
+					}()
+					s.running = true
+					s.runWindow(horizon)
+					s.running = false
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, f := range failures {
+		if f != nil {
+			panic(f)
+		}
+	}
+}
+
+// hasWorkBefore reports whether the shard has a live event before horizon,
+// discarding lazily-cancelled heap tops on the way.
+func (e *Engine) hasWorkBefore(horizon Time) bool {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			if ev.owned {
+				e.recycle(ev)
+			}
+			continue
+		}
+		return ev.at < horizon
+	}
+	return false
+}
+
+// runWindow processes this shard's events with at < horizon. It is the
+// per-window slice of Engine.Run; a task panic propagates to the caller.
+func (e *Engine) runWindow(horizon Time) {
+	for !e.stopped && len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.cancelled {
+			heap.Pop(&e.events)
+			if ev.owned {
+				e.recycle(ev)
+			}
+			continue
+		}
+		if ev.at >= horizon {
+			return
+		}
+		heap.Pop(&e.events)
+		e.nLive--
+		e.dispatched++
+		e.now = ev.at
+		fn, owned := ev.fn, ev.owned
+		fn()
+		if owned {
+			e.recycle(ev)
+		}
+		if e.failure != nil {
+			panic(e.failure)
+		}
+	}
+}
+
+// nextEventTime returns the earliest live event time across all shards.
+func (c *Cluster) nextEventTime() (Time, bool) {
+	var best Time
+	found := false
+	for _, s := range c.shards {
+		for len(s.events) > 0 && s.events[0].cancelled {
+			ev := heap.Pop(&s.events).(*Event)
+			if ev.owned {
+				s.recycle(ev)
+			}
+		}
+		if len(s.events) > 0 {
+			if !found || s.events[0].at < best {
+				best = s.events[0].at
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// guardSchedule enforces the cross-shard discipline on Engine.schedule.
+// During the P phase only the executing shard may touch its heap (serial
+// runs panic on violations; parallel runs surface them via the race
+// detector and the identity gate). During the G phase shard 0 may push
+// onto any heap — all cell shards are quiescent — but pushes onto cell
+// shards are clamped to the window edge so no shard ever observes an
+// event earlier than its local clock.
+func (c *Cluster) guardSchedule(e *Engine, at Time) Time {
+	switch c.phase.Load() {
+	case phaseP:
+		if cur := c.serialCur; cur >= 0 && cur != e.id {
+			panic(fmt.Sprintf(
+				"sim: cross-shard schedule onto shard %d while shard %d is executing: "+
+					"shards own their event heaps; route cross-shard events through the "+
+					"mailbox (Engine.Send) or the global phase (Engine.Global/SendGlobal)",
+				e.id, cur))
+		}
+	case phaseG:
+		if e.id != 0 && at < c.horizon {
+			at = c.horizon
+		}
+	}
+	return at
+}
+
+// Crossing is a handle on a cross-shard send, usable by the sending shard
+// to cancel it. Cancellation is deterministic but window-granular: it is
+// guaranteed only when issued at least one full window before the event's
+// fire time; a cancel racing the fire window loses (identically in serial
+// and parallel runs).
+type Crossing struct {
+	c        *Cluster
+	src, dst int
+	seq      uint64
+	ev       *Event      // same-shard fast path
+	entry    *crossEvent // cross-shard entry, until merged
+}
+
+// Send schedules fn on dst's shard d nanoseconds from now, routed through
+// the deterministic cross-shard mailbox. d must be at least the cluster
+// lookahead (the minimum cross-cell latency). Must be called from the
+// sending shard's execution context.
+func (e *Engine) Send(dst *Engine, d Time, fn func()) *Crossing {
+	c := e.clu
+	if c == nil {
+		if dst != e {
+			panic("sim: Send between engines that are not cluster shards")
+		}
+		return &Crossing{ev: e.After(d, fn)}
+	}
+	if dst.clu != c {
+		panic("sim: Send to an engine outside this cluster")
+	}
+	if dst == e {
+		return &Crossing{c: c, src: e.id, dst: e.id, ev: e.After(d, fn)}
+	}
+	if d < c.lookahead {
+		panic(fmt.Sprintf(
+			"sim: cross-shard send with delay %v below the lookahead window %v: "+
+				"cross-shard events must respect the minimum intercell latency",
+			d, c.lookahead))
+	}
+	lane := &c.mail[e.id][dst.id]
+	lane.seq++
+	en := &crossEvent{at: e.now + d, seq: lane.seq, fn: fn}
+	lane.entries = append(lane.entries, en)
+	return &Crossing{c: c, src: e.id, dst: dst.id, seq: en.seq, entry: en}
+}
+
+// Cancel prevents the crossing from firing if it is still cancellable:
+// always for a same-shard crossing, and for a cross-shard crossing when
+// the cancel reaches the destination's merge point before the fire window.
+// Must be called from the sending shard's execution context. It reports
+// whether a cancellation was applied or enqueued.
+func (cr *Crossing) Cancel() bool {
+	if cr.ev != nil {
+		return cr.ev.Cancel()
+	}
+	en := cr.entry
+	if !en.merged {
+		if en.cancelled {
+			return false
+		}
+		en.cancelled = true
+		return true
+	}
+	// Already merged into the destination heap: route a cancellation
+	// marker through the same edge so it applies at a deterministic point.
+	lane := &cr.c.mail[cr.src][cr.dst]
+	lane.seq++
+	lane.entries = append(lane.entries, &crossEvent{seq: lane.seq, cancelSeq: cr.seq})
+	return true
+}
+
+// mergeMail drains every mailbox lane into the destination heaps. Order is
+// fixed by the stamp (time, source shard, per-edge sequence); destination-
+// local sequence numbers are assigned in stamp order, so the merged order
+// is independent of worker count and OS scheduling. Runs between windows.
+func (c *Cluster) mergeMail() {
+	type tagged struct {
+		src int
+		en  *crossEvent
+	}
+	for dst := range c.shards {
+		var batch []tagged
+		for src := range c.shards {
+			lane := &c.mail[src][dst]
+			if len(lane.entries) == 0 {
+				continue
+			}
+			for _, en := range lane.entries {
+				en.merged = true
+				batch = append(batch, tagged{src, en})
+			}
+			lane.entries = lane.entries[:0]
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		d := c.shards[dst]
+		// Cancellation markers first: they target entries merged at an
+		// earlier barrier, so they can never race an entry in this batch.
+		for _, tg := range batch {
+			if tg.en.fn != nil {
+				continue
+			}
+			k := crossKey{src: tg.src, seq: tg.en.cancelSeq}
+			if ev, ok := d.pendingCross[k]; ok {
+				ev.Cancel()
+				delete(d.pendingCross, k)
+			}
+		}
+		sort.SliceStable(batch, func(i, j int) bool {
+			a, b := batch[i], batch[j]
+			if a.en.at != b.en.at {
+				return a.en.at < b.en.at
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.en.seq < b.en.seq
+		})
+		for _, tg := range batch {
+			en := tg.en
+			if en.fn == nil || en.cancelled {
+				continue
+			}
+			if d.pendingCross == nil {
+				d.pendingCross = make(map[crossKey]*Event)
+			}
+			k := crossKey{src: tg.src, seq: en.seq}
+			fn := en.fn
+			ev := d.schedule(en.at, func() {
+				delete(d.pendingCross, k)
+				fn()
+			})
+			d.pendingCross[k] = ev
+		}
+	}
+}
+
+// SendGlobal runs fn in the global phase of the current window, stamped
+// with (time, source shard, sequence) so the global shard processes
+// requests from all cells in a deterministic order. Callable from any
+// execution context; engine-context code (interrupt handlers, event
+// callbacks) uses this where task code would use Global. Without a
+// cluster it degrades to an immediate event.
+func (e *Engine) SendGlobal(fn func()) {
+	c := e.clu
+	if c == nil || e.id == 0 {
+		e.atOwned(e.now, fn)
+		return
+	}
+	lane := &c.hops[e.id]
+	lane.seq++
+	lane.entries = append(lane.entries, hopEntry{at: e.now, seq: lane.seq, fn: fn})
+}
+
+// Global runs fn in the global phase of the current window on behalf of t,
+// which must be the running task on this shard. The task parks; shard 0
+// adopts it at the window barrier (every cell shard quiescent, so fn may
+// touch any cross-cell state: membership rounds, remote page contents,
+// neighbor clocks); the task returns to its home shard at the next window
+// edge. Without a cluster — or already on the global shard — fn runs
+// inline.
+func (e *Engine) Global(t *Task, fn func()) {
+	c := e.clu
+	if c == nil || e.id == 0 {
+		fn()
+		return
+	}
+	if t != nil && t.inGlobal > 0 {
+		// Nested hop: the task is already adopted by the global shard with
+		// every cell shard quiescent, so the inner section runs inline.
+		fn()
+		return
+	}
+	if t == nil || t.eng != e || e.cur != t {
+		panic("sim: Global must be called by the running task on its own shard")
+	}
+	t.inGlobal++
+	lane := &c.hops[e.id]
+	lane.seq++
+	lane.entries = append(lane.entries, hopEntry{at: e.now, seq: lane.seq, t: t})
+	t.park()
+	// Now running adopted on shard 0, inside the G phase.
+	fn()
+	t.inGlobal--
+	if t.inGlobal == 0 && t.home != c.shards[0] {
+		home := t.home
+		t.eng = home
+		home.atOwned(c.horizon, func() { t.wake(false) })
+		t.park()
+	}
+}
+
+// mergeHops drains the per-shard global-phase requests into shard 0's
+// heap in stamp order. Runs at the P→G barrier, so requests raised during
+// a window are served in that same window's global phase.
+func (c *Cluster) mergeHops() {
+	var all []hopEntry
+	for src := 1; src < len(c.shards); src++ {
+		lane := &c.hops[src]
+		for _, en := range lane.entries {
+			en.src = src
+			all = append(all, en)
+		}
+		lane.entries = lane.entries[:0]
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	g := c.shards[0]
+	for _, en := range all {
+		if en.t != nil {
+			t := en.t
+			g.atOwned(en.at, func() { c.adoptRun(t) })
+		} else {
+			g.atOwned(en.at, en.fn)
+		}
+	}
+}
+
+// adoptRun temporarily binds a cell task to the global shard and
+// dispatches it — the mechanism behind Global hops and cross-shard wakes
+// from the G phase (futures, barriers, membership verdicts). When the task
+// parks again — unless it is still inside a Global section — it is handed
+// back to its home shard, and any wake timer it armed on the global heap
+// migrates with it (clamped to the window edge, preserving the rule that
+// no shard observes an event before its clock).
+func (c *Cluster) adoptRun(t *Task) {
+	if t.done || !t.parked {
+		return
+	}
+	g := c.shards[0]
+	t.eng = g
+	t.wake(false)
+	if t.done || t.inGlobal > 0 {
+		return
+	}
+	if t.eng == g && t.home != g {
+		t.eng = t.home
+		if ev := t.wakeEv; ev != nil && ev.engine == g && ev.Pending() {
+			c.migrateEvent(ev, t.home)
+		}
+	}
+}
+
+// migrateEvent moves a pending event from the global heap to a cell
+// shard's heap, re-stamping it with a destination-local sequence and
+// clamping it to the window edge. Only legal during the G phase, when the
+// destination shard is quiescent.
+func (c *Cluster) migrateEvent(ev *Event, dst *Engine) {
+	src := ev.engine
+	heap.Remove(&src.events, ev.index)
+	src.nLive--
+	dst.seq++
+	ev.engine = dst
+	ev.seq = dst.seq
+	if ev.at < c.horizon {
+		ev.at = c.horizon
+	}
+	heap.Push(&dst.events, ev)
+	dst.nLive++
+}

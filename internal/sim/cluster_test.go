@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// clusterWorkload drives a 4-shard cluster through sleeps, RNG draws,
+// cross-shard sends, global hops, and engine-context global requests, and
+// returns a digest of everything observable. Every worker count must
+// produce the same digest byte-for-byte.
+func clusterWorkload(t *testing.T, workers int) string {
+	t.Helper()
+	const L = 100
+	c := NewCluster(42, 4, L)
+	c.SetWorkers(workers)
+
+	// logs[id] is appended only by shard id's execution context (the G
+	// phase for logs[0]), so parallel windows never share a slice.
+	logs := make([][]string, 5)
+	for id := 1; id <= 4; id++ {
+		id := id
+		e := c.Shard(id)
+		e.Go(fmt.Sprintf("t%d", id), func(tk *Task) {
+			for i := 0; i < 40; i++ {
+				d := Time(e.Rand().Intn(37)) + 1
+				tk.Sleep(d)
+				logs[id] = append(logs[id], fmt.Sprintf("s%d i%d @%d", id, i, tk.Now()))
+				switch i % 10 {
+				case 3:
+					dst := c.Shard(1 + id%4)
+					from, iter := id, i
+					e.Send(dst, L+d, func() {
+						logs[dst.ShardID()] = append(logs[dst.ShardID()],
+							fmt.Sprintf("x from%d i%d @%d", from, iter, dst.Now()))
+					})
+				case 6:
+					from, iter := id, i
+					e.Global(tk, func() {
+						logs[0] = append(logs[0],
+							fmt.Sprintf("g from%d i%d @%d", from, iter, tk.Now()))
+					})
+				case 9:
+					from, iter := id, i
+					e.SendGlobal(func() {
+						logs[0] = append(logs[0],
+							fmt.Sprintf("sg from%d i%d @%d", from, iter, c.Global().Now()))
+					})
+				}
+			}
+		})
+	}
+	c.Run(0)
+	var b strings.Builder
+	for id, lg := range logs {
+		fmt.Fprintf(&b, "== shard %d (dispatched %d) ==\n", id, c.Shard(id).Dispatched())
+		for _, line := range lg {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "now=%d total=%d\n", c.Now(), c.Dispatched())
+	return b.String()
+}
+
+func TestClusterIdentityAcrossWorkers(t *testing.T) {
+	ref := clusterWorkload(t, 1)
+	for _, w := range []int{2, 4, 8} {
+		if got := clusterWorkload(t, w); got != ref {
+			t.Fatalf("workers=%d diverged from serial reference:\n--- serial ---\n%s\n--- workers=%d ---\n%s", w, ref, w, got)
+		}
+	}
+}
+
+func TestShardSeedIndependentOfShardCount(t *testing.T) {
+	small := NewCluster(7, 4, 100)
+	big := NewCluster(7, 8, 100)
+	for id := 1; id <= 4; id++ {
+		a, b := small.Shard(id).Rand(), big.Shard(id).Rand()
+		for i := 0; i < 64; i++ {
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("shard %d draw %d differs between 4-shard and 8-shard clusters: %d vs %d", id, i, x, y)
+			}
+		}
+	}
+}
+
+func TestCrossSendOnWindowBoundary(t *testing.T) {
+	// A zero-lookahead send: delay exactly L lands exactly on the next
+	// window boundary and must fire at precisely that time.
+	const L = 100
+	c := NewCluster(1, 2, L)
+	var firedAt Time = -1
+	src, dst := c.Shard(1), c.Shard(2)
+	src.Go("sender", func(tk *Task) {
+		src.Send(dst, L, func() { firedAt = dst.Now() })
+	})
+	c.Run(0)
+	if firedAt != L {
+		t.Fatalf("boundary send fired at %d, want exactly %d", firedAt, L)
+	}
+}
+
+func TestCrossSendBelowLookaheadPanics(t *testing.T) {
+	const L = 100
+	c := NewCluster(1, 2, L)
+	src, dst := c.Shard(1), c.Shard(2)
+	src.Go("sender", func(tk *Task) {
+		src.Send(dst, L-1, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "below the lookahead window") {
+			t.Fatalf("want lookahead violation panic, got %v", r)
+		}
+	}()
+	c.Run(0)
+}
+
+func TestCrossCancel(t *testing.T) {
+	const L = 100
+	run := func(cancelAt Time) bool {
+		c := NewCluster(3, 2, L)
+		fired := false
+		src, dst := c.Shard(1), c.Shard(2)
+		src.Go("sender", func(tk *Task) {
+			cr := src.Send(dst, 3*L, func() { fired = true })
+			tk.Sleep(cancelAt)
+			cr.Cancel()
+		})
+		c.Run(0)
+		return fired
+	}
+	// Cancelled in the send window, before the entry is merged.
+	if run(50) {
+		t.Fatal("cancel before merge: event fired anyway")
+	}
+	// Cancelled after merge but a full window before the fire time: the
+	// cancellation marker reaches the destination first.
+	if run(150) {
+		t.Fatal("cancel one window ahead: event fired anyway")
+	}
+	// Cancelled inside the fire window: too late by design — the event
+	// fires, identically in serial and parallel runs.
+	if !run(320) {
+		t.Fatal("cancel inside the fire window should lose deterministically")
+	}
+}
+
+func TestCrossShardScheduleMigrationPanics(t *testing.T) {
+	const L = 100
+	c := NewCluster(5, 2, L)
+	other := c.Shard(2)
+	c.Shard(1).Go("trespasser", func(tk *Task) {
+		other.After(0, func() {}) // direct cross-shard schedule: forbidden
+	})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "route cross-shard events") {
+			t.Fatalf("want cross-shard schedule diagnostic, got %v", r)
+		}
+	}()
+	c.Run(0)
+}
+
+func TestClusterDeadlockReportsShard(t *testing.T) {
+	c := NewCluster(9, 3, 100)
+	c.Shard(1).Go("stuck-a", func(tk *Task) { tk.Block() })
+	c.Shard(3).Go("stuck-b", func(tk *Task) { tk.Block() })
+	c.Run(0)
+	got := c.StuckTasks()
+	want := []string{"shard1:stuck-a", "shard3:stuck-b"}
+	if len(got) != len(want) {
+		t.Fatalf("StuckTasks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("StuckTasks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGlobalHopRoundTrip(t *testing.T) {
+	const L = 100
+	c := NewCluster(11, 2, L)
+	e := c.Shard(1)
+	var inHop, after int
+	var hopShard, homeShard int = -1, -1
+	e.Go("hopper", func(tk *Task) {
+		tk.Sleep(10)
+		e.Global(tk, func() {
+			inHop++
+			hopShard = tk.Engine().ShardID()
+		})
+		after++
+		homeShard = tk.Engine().ShardID()
+		if tk.Now()%L != 0 {
+			t.Errorf("task returned home at %d, want a window edge (multiple of %d)", tk.Now(), L)
+		}
+	})
+	c.Run(0)
+	if inHop != 1 || after != 1 {
+		t.Fatalf("hop ran %d times, continuation %d times; want 1 and 1", inHop, after)
+	}
+	if hopShard != 0 {
+		t.Fatalf("hop executed on shard %d, want the global shard 0", hopShard)
+	}
+	if homeShard != 1 {
+		t.Fatalf("task returned bound to shard %d, want its home shard 1", homeShard)
+	}
+}
+
+func TestSendGlobalStampOrder(t *testing.T) {
+	// Same-window SendGlobal requests from different shards must be served
+	// in stamp order: (time, source shard, per-edge sequence).
+	const L = 100
+	c := NewCluster(13, 3, L)
+	var order []string
+	for id := 3; id >= 1; id-- {
+		id := id
+		e := c.Shard(id)
+		e.Go(fmt.Sprintf("t%d", id), func(tk *Task) {
+			tk.Sleep(Time(5 * id)) // shard 1 stamps earliest
+			e.SendGlobal(func() { order = append(order, fmt.Sprintf("s%d", id)) })
+		})
+	}
+	c.Run(0)
+	want := "s1,s2,s3"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("global-phase order = %s, want %s", got, want)
+	}
+}
+
+func TestClusterRunDeadline(t *testing.T) {
+	const L = 100
+	c := NewCluster(17, 2, L)
+	var fires []Time
+	e := c.Shard(1)
+	e.Go("ticker", func(tk *Task) {
+		for i := 0; i < 10; i++ {
+			tk.Sleep(60)
+			fires = append(fires, tk.Now())
+		}
+	})
+	if got := c.Run(250); got != 250 {
+		t.Fatalf("Run(250) = %d, want 250", got)
+	}
+	for _, at := range fires {
+		if at > 250 {
+			t.Fatalf("event fired at %d, beyond the deadline 250", at)
+		}
+	}
+	n := len(fires)
+	if n != 4 { // 60, 120, 180, 240
+		t.Fatalf("fired %d events before the deadline, want 4 (got %v)", n, fires)
+	}
+	c.Run(0)
+	if len(fires) != 10 {
+		t.Fatalf("resumed run fired %d total, want 10", len(fires))
+	}
+}
+
+func TestClusterShardRunPanics(t *testing.T) {
+	c := NewCluster(1, 1, 100)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "Cluster.Run") {
+			t.Fatalf("want shard Run panic, got %v", r)
+		}
+	}()
+	c.Shard(1).Run(0)
+}

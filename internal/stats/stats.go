@@ -9,26 +9,37 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sim"
 )
 
-// Counter is a monotonically increasing event count.
+// Counter is a monotonically increasing event count. Increments are atomic:
+// in sharded runs counters are bumped concurrently from parallel engine
+// shards, and because integer addition commutes the final value is still
+// deterministic regardless of worker count.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Inc adds 1.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds d.
-func (c *Counter) Add(d int64) { c.n += d }
+func (c *Counter) Add(d int64) { c.n.Add(d) }
 
 // Value returns the count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Distribution accumulates latency (or other) samples and reports summary
 // statistics. Samples are stored, so use for bounded-cardinality series.
+//
+// Unlike Counter, a Distribution is NOT safe for concurrent observation:
+// float accumulation does not commute, so sample order matters for
+// determinism. Each instance must be observed from a single shard (per-cell
+// metrics from their cell's shard, run-level metrics from the global
+// phase); the race detector enforces this in sharded tests.
 type Distribution struct {
 	samples []float64
 	sum     float64
@@ -460,7 +471,11 @@ func (t *Table) String() string {
 
 // Registry is a named collection of counters and distributions, one per
 // cell/kernel, so experiments can pull out whichever metrics they report.
+// Lookup (and lazy creation) is guarded by a lock so shards of a sharded
+// run may fetch metrics concurrently; hot paths should cache the returned
+// pointer when the name is fixed.
 type Registry struct {
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	dists    map[string]*Distribution
 	hists    map[string]*Histogram
@@ -477,7 +492,15 @@ func NewRegistry() *Registry {
 
 // Counter returns (creating if needed) the named counter.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
 	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok = r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
@@ -487,7 +510,15 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Dist returns (creating if needed) the named distribution.
 func (r *Registry) Dist(name string) *Distribution {
+	r.mu.RLock()
 	d, ok := r.dists[name]
+	r.mu.RUnlock()
+	if ok {
+		return d
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok = r.dists[name]
 	if !ok {
 		d = &Distribution{}
 		r.dists[name] = d
@@ -497,7 +528,15 @@ func (r *Registry) Dist(name string) *Distribution {
 
 // Hist returns (creating if needed) the named histogram.
 func (r *Registry) Hist(name string) *Histogram {
+	r.mu.RLock()
 	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok = r.hists[name]
 	if !ok {
 		h = &Histogram{}
 		r.hists[name] = h
@@ -507,6 +546,8 @@ func (r *Registry) Hist(name string) *Histogram {
 
 // HistNames returns all histogram names, sorted.
 func (r *Registry) HistNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		names = append(names, n)
@@ -517,6 +558,8 @@ func (r *Registry) HistNames() []string {
 
 // CounterNames returns all counter names, sorted.
 func (r *Registry) CounterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.counters))
 	for n := range r.counters {
 		names = append(names, n)
@@ -529,7 +572,7 @@ func (r *Registry) CounterNames() []string {
 func (r *Registry) Snapshot() string {
 	var sb strings.Builder
 	for _, n := range r.CounterNames() {
-		if v := r.counters[n].Value(); v != 0 {
+		if v := r.Counter(n).Value(); v != 0 {
 			fmt.Fprintf(&sb, "  %-40s %12d\n", n, v)
 		}
 	}

@@ -56,7 +56,7 @@ func (v *VM) StartClockHand(writeback func(t *sim.Task, lp LogicalPage) bool) *C
 		LowWater:  int(float64(total) * defaultLowWaterFrac),
 		HighWater: int(float64(total) * defaultHighWaterFrac),
 	}
-	v.M.Eng.Go(fmt.Sprintf("cell%d.clockhand", v.CellID), ch.loop)
+	v.EP.Engine().Go(fmt.Sprintf("cell%d.clockhand", v.CellID), ch.loop)
 	return ch
 }
 

@@ -52,7 +52,7 @@ func RunOcean(h *core.Hive, cfg OceanConfig, maxTime sim.Time) *Result {
 		}
 		setupDone = true
 	})
-	if !h.RunUntil(func() bool { return setupDone }, h.Eng.Now()+20*sim.Second) {
+	if !h.RunUntil(func() bool { return setupDone }, h.Now()+20*sim.Second) {
 		res.AddError("setup never finished")
 		return res
 	}
@@ -66,15 +66,26 @@ func RunOcean(h *core.Hive, cfg OceanConfig, maxTime sim.Time) *Result {
 	leaves := make([]kmem.Addr, cfg.Threads)
 	ready := sim.NewBarrier(cfg.Threads)
 	stepBar := sim.NewBarrier(cfg.Threads)
-	finished := 0
+	// One completion slot per thread: each is written only by its own
+	// thread's shard (a shared counter would be a cross-shard write-write
+	// race when recovery kills several threads in the same window), and
+	// only read from the driver loop between windows.
+	finished := make([]int, cfg.Threads)
+	doneCount := func() int {
+		n := 0
+		for _, f := range finished {
+			n += f
+		}
+		return n
+	}
 
-	start := h.Eng.Now()
+	start := h.Now()
 	res.Started = start
 	launched := false
 	h.Cells[0].Procs.Spawn("ocean.main", 201, func(p *proc.Process, t *sim.Task) {
 		_, err := h.Cells[0].Procs.SpawnSpanning(t, "ocean", 202, tables,
 			func(tp *proc.Process, tt *sim.Task) {
-				defer func() { finished++ }()
+				defer func() { finished[tp.ThreadIndex()] = 1 }()
 				idx := tp.ThreadIndex()
 				cell := h.Cells[tp.Cell]
 
@@ -133,10 +144,10 @@ func RunOcean(h *core.Hive, cfg OceanConfig, maxTime sim.Time) *Result {
 		launched = true
 	})
 
-	deadline := h.Eng.Now() + maxTime
-	h.RunUntil(func() bool { return launched && finished == cfg.Threads }, deadline)
-	res.Done = finished == cfg.Threads
-	res.Elapsed = h.Eng.Now() - start
+	deadline := h.Now() + maxTime
+	h.RunUntil(func() bool { return launched && doneCount() == cfg.Threads }, deadline)
+	res.Done = doneCount() == cfg.Threads
+	res.Elapsed = h.Now() - start
 	res.finishStats(h, h0, m0, i0)
 	return res
 }

@@ -29,9 +29,11 @@ type PmakeConfig struct {
 	NamespaceOps int      // stat-like probes on the shared tree per job (-I search)
 
 	Seed uint64
-	// InjectHook, when set, is called as each job starts (the §7.4
-	// "during process creation" trigger point).
-	InjectHook func(job int)
+	// InjectHook, when set, is called from the job's own task as each job
+	// starts (the §7.4 "during process creation" trigger point). The task
+	// lets injection code hop to the global phase (Engine.Global) in
+	// sharded runs.
+	InjectHook func(t *sim.Task, job int)
 }
 
 // DefaultPmake returns the calibrated configuration.
@@ -90,7 +92,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 		fsys.Close(t, cc)
 		setupDone = true
 	})
-	if !h.RunUntil(func() bool { return setupDone }, h.Eng.Now()+20*sim.Second) {
+	if !h.RunUntil(func() bool { return setupDone }, h.Now()+20*sim.Second) {
 		res.AddError("setup never finished")
 		return res
 	}
@@ -100,7 +102,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	// spreading them round-robin across cells (the single-system image's
 	// load balancing).
 	ccKey := mustKey(h, srcHome, "/usr/bin/cc")
-	start := h.Eng.Now()
+	start := h.Now()
 	res.Started = start
 	jobsDone := 0
 	coordinatorDone := false
@@ -108,7 +110,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	jobBody := func(job int) proc.Body {
 		return func(p *proc.Process, t *sim.Task) {
 			if cfg.InjectHook != nil {
-				cfg.InjectHook(job)
+				cfg.InjectHook(t, job)
 			}
 			cell := h.Cells[p.Cell]
 			pt := cell.Procs
@@ -259,7 +261,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 		coordinatorDone = true
 	})
 
-	deadline := h.Eng.Now() + maxTime
+	deadline := h.Now() + maxTime
 	// The coordinator may be killed by recovery if a cell it forked to
 	// fails — pmake used that cell's resources, so it is a legitimate
 	// casualty (§2). The run ends either way.
@@ -268,7 +270,7 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	if !coordinatorDone && makeProc.Exited() {
 		res.AddError("make coordinator killed (depended on a failed cell)")
 	}
-	res.Elapsed = h.Eng.Now() - start
+	res.Elapsed = h.Now() - start
 	for i := 0; i < cfg.Files; i++ {
 		res.Outputs = append(res.Outputs, OutputFile{
 			Path:  fmt.Sprintf("/tmp/%s%d.o", cfg.Tag, i),
@@ -317,6 +319,6 @@ func mustKey(h *core.Hive, home int, path string) uint64 {
 		}
 		done = true
 	})
-	h.RunUntil(func() bool { return done }, h.Eng.Now()+sim.Second)
+	h.RunUntil(func() bool { return done }, h.Now()+sim.Second)
 	return id
 }

@@ -23,8 +23,10 @@ type RaytraceConfig struct {
 	Scratch    int      // tiles between fresh scratch-page allocations
 	MainCell   int      // cell hosting the parent (scene data home)
 	Seed       uint64
-	// ForkHook fires as each worker forks (an injection trigger).
-	ForkHook func(worker int)
+	// ForkHook fires from the parent's task as each worker forks (an
+	// injection trigger). The task lets injection code hop to the global
+	// phase (Engine.Global) in sharded runs.
+	ForkHook func(t *sim.Task, worker int)
 }
 
 // DefaultRaytrace returns the calibrated configuration (IRIX ≈4.35 s).
@@ -44,10 +46,21 @@ func DefaultRaytrace() RaytraceConfig {
 func RunRaytrace(h *core.Hive, cfg RaytraceConfig, maxTime sim.Time) *Result {
 	res := &Result{Name: "raytrace", Cells: len(h.Cells)}
 	h0, m0, i0 := snapshotFaults(h)
-	start := h.Eng.Now()
+	start := h.Now()
 	res.Started = start
 
-	finished := 0
+	// One completion slot per worker: each is written only by its own
+	// worker's shard (a shared counter would be a cross-shard write-write
+	// race when recovery kills several workers in the same window), and
+	// only read from the driver loop between windows.
+	finished := make([]int, cfg.Workers)
+	doneCount := func() int {
+		n := 0
+		for _, f := range finished {
+			n += f
+		}
+		return n
+	}
 	parentDone := false
 	main := cfg.MainCell % len(h.Cells)
 	var mainProc *proc.Process
@@ -63,7 +76,7 @@ func RunRaytrace(h *core.Hive, cfg RaytraceConfig, maxTime sim.Time) *Result {
 
 		worker := func(w int) proc.Body {
 			return func(wp *proc.Process, wt *sim.Task) {
-				defer func() { finished++ }()
+				defer func() { finished[w] = 1 }()
 				for tile := 0; tile < cfg.Tiles; tile++ {
 					wp.Compute(wt, cfg.TileCPU)
 					// Consult the scene: COW-tree lookups that
@@ -91,7 +104,7 @@ func RunRaytrace(h *core.Hive, cfg RaytraceConfig, maxTime sim.Time) *Result {
 		cellOf := make(map[int]int)
 		for w := 0; w < cfg.Workers; w++ {
 			if cfg.ForkHook != nil {
-				cfg.ForkHook(w)
+				cfg.ForkHook(t, w)
 			}
 			target := w % len(h.Cells)
 			for i := 0; i < len(h.Cells) && h.Cells[target].Failed(); i++ {
@@ -128,14 +141,14 @@ func RunRaytrace(h *core.Hive, cfg RaytraceConfig, maxTime sim.Time) *Result {
 		parentDone = true
 	})
 
-	deadline := h.Eng.Now() + maxTime
+	deadline := h.Now() + maxTime
 	h.RunUntil(func() bool {
 		// Completed, or aborted (the parent was killed by recovery as
 		// a dependent of a failed cell).
-		return (parentDone && finished == cfg.Workers) || mainProc.Exited()
+		return (parentDone && doneCount() == cfg.Workers) || mainProc.Exited()
 	}, deadline)
-	res.Done = parentDone && finished == cfg.Workers
-	res.Elapsed = h.Eng.Now() - start
+	res.Done = parentDone && doneCount() == cfg.Workers
+	res.Elapsed = h.Now() - start
 	res.finishStats(h, h0, m0, i0)
 	return res
 }

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// hiveDigest fingerprints everything a run's determinism gate cares about:
+// the final virtual time, the merged forensic trace (full total order), the
+// workload result, and the per-cell failure states.
+func hiveDigest(h *core.Hive, res *Result) uint64 {
+	d := fnv.New64a()
+	fmt.Fprintf(d, "now=%d\n", h.Now())
+	for _, ev := range h.Trace.Merged() {
+		fmt.Fprintf(d, "ev=%d|%d|%d|%d|%d|%d|%d|%s\n",
+			ev.At, ev.Cell, ev.Seq, ev.Kind, ev.Span, ev.A, ev.B, ev.S)
+	}
+	if res != nil {
+		fmt.Fprintf(d, "wl=%v|%d|%d|%d|%d|%v\n",
+			res.Done, res.Elapsed, res.FaultHits, res.FaultMisses, res.RemoteFaults, res.Errors)
+		for _, out := range res.Outputs {
+			fmt.Fprintf(d, "out=%s|%d|%d\n", out.Path, out.Home, out.Pages)
+		}
+	}
+	for _, c := range h.Cells {
+		fmt.Fprintf(d, "cell=%d|%v\n", c.ID, c.Failed())
+	}
+	return d.Sum64()
+}
+
+// runShardedPmake boots a Hive at the given cell count and worker count and
+// runs a small pmake to completion.
+func runShardedPmake(t *testing.T, cells, shards int) uint64 {
+	t.Helper()
+	h := BootHiveWith(cells, 4242, func(cfg *core.Config) {
+		cfg.Shards = shards
+	})
+	cfg := DefaultPmake()
+	cfg.Files = 4
+	cfg.Parallel = 2
+	cfg.CompileCPU = 30 * sim.Millisecond
+	cfg.NamespaceOps = 40
+	cfg.SharedPages = 16
+	cfg.AnonPages = 8
+	cfg.SrcPages = 4
+	cfg.OutPages = 2
+	res := RunPmake(h, cfg, 60*sim.Second)
+	if !res.Done {
+		t.Fatalf("pmake did not finish at cells=%d shards=%d: errs=%v", cells, shards, res.Errors)
+	}
+	return hiveDigest(h, res)
+}
+
+// TestShardedIdentity is the stack-level determinism gate: a full Hive boot
+// plus pmake must produce a byte-identical trace, workload result, and
+// failure state at every worker count — the sharded engine's merge order is
+// fixed by (virtual time, shard, sequence) stamps, never by OS scheduling.
+func TestShardedIdentity(t *testing.T) {
+	for _, cells := range []int{4, 16} {
+		ref := runShardedPmake(t, cells, 1)
+		for _, shards := range []int{2, 4} {
+			if got := runShardedPmake(t, cells, shards); got != ref {
+				t.Errorf("cells=%d: digest at %d workers = %x, want %x (1 worker)",
+					cells, shards, got, ref)
+			}
+		}
+	}
+}
+
+// TestShardedIdentity32 extends the gate to the 32-cell machine with a
+// boot-plus-idle run (the full pmake at 32 cells belongs to the bench
+// suite, not the unit gate).
+func TestShardedIdentity32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-cell identity gate skipped in -short")
+	}
+	run := func(shards int) uint64 {
+		h := BootHiveWith(32, 4242, func(cfg *core.Config) {
+			cfg.Shards = shards
+		})
+		h.Run(2 * sim.Second)
+		return hiveDigest(h, nil)
+	}
+	ref := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != ref {
+			t.Errorf("32 cells: digest at %d workers = %x, want %x (1 worker)", shards, got, ref)
+		}
+	}
+}
+
+// TestShardedFailureIdentity exercises the fault path under sharding: a
+// cell's hardware death, detection, and recovery must land identically at
+// every worker count.
+func TestShardedFailureIdentity(t *testing.T) {
+	run := func(shards int) uint64 {
+		h := BootHiveWith(4, 99, func(cfg *core.Config) {
+			cfg.Shards = shards
+		})
+		h.Eng.At(100*sim.Millisecond, func() { h.Cells[1].FailHardware() })
+		if !h.RunUntil(func() bool {
+			return h.Coord.LiveCount() == 3 && h.Coord.RecoveryIdle()
+		}, 5*sim.Second) {
+			t.Fatalf("recovery did not converge at shards=%d", shards)
+		}
+		h.Run(h.Now() + 200*sim.Millisecond)
+		return hiveDigest(h, nil)
+	}
+	ref := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != ref {
+			t.Errorf("failure digest at %d workers = %x, want %x (1 worker)", shards, got, ref)
+		}
+	}
+}

@@ -122,7 +122,7 @@ func VerifyOutputs(h *core.Hive, res *Result) (bad int, report []string) {
 			reader.FS.Close(t, hdl)
 		}
 	})
-	if !h.RunUntil(func() bool { return done }, h.Eng.Now()+60*sim.Second) {
+	if !h.RunUntil(func() bool { return done }, h.Now()+60*sim.Second) {
 		return bad + 1, append(report, "verification timed out")
 	}
 	return bad, report
