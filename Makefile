@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint check trace-check drill-smoke shard-identity race bench bench-engine bench-report bench-gate clean
+.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke shard-identity race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -12,11 +12,29 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs hivelint, the in-tree determinism & layering suite
-# (internal/lint). The same suite is also gated inside `go test ./...`
-# via the internal/lint self-test.
+# lint runs hivelint, the in-tree determinism, layering &
+# fault-containment suite (internal/lint): seven single-package
+# analyzers plus the four interprocedural ones (carefulref, rpctaint,
+# errdrop, shardescape) built on the module-wide call graph and taint
+# engine. Stale //hive:lint-ignore pragmas are diagnostics too. The
+# -budget flag additionally fails the run if linting itself exceeds 30s
+# of wall time: the suite must stay cheap enough to live inside the
+# tier-1 gate. The same suite is also gated inside `go test ./...` via
+# the internal/lint self-test.
 lint:
-	$(GO) run ./cmd/hivelint
+	$(GO) run ./cmd/hivelint -budget 30s
+
+# lint-report writes the machine-readable lint report; CI uploads it as
+# a build artifact.
+lint-report:
+	$(GO) run ./cmd/hivelint -json -budget 30s > hivelint.json
+
+# lint-examples lints the example programs package by package (they sit
+# outside the module-wide default scope; the model-only analyzers exempt
+# them, but globalrand and the pragma checks still apply). Nightly CI
+# runs this.
+lint-examples:
+	for d in examples/*/; do $(GO) run ./cmd/hivelint "./$$d" || exit 1; done
 
 # check is the tier-1 gate: build, vet, hivelint, full test suite, the
 # race detector over the packages that actually use OS-level concurrency
@@ -24,7 +42,7 @@ lint:
 # observability byte-identity gate.
 check: build
 	$(GO) vet ./...
-	$(GO) run ./cmd/hivelint
+	$(GO) run ./cmd/hivelint -budget 30s
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/... ./internal/sim/...
 	$(MAKE) trace-check

@@ -1,5 +1,5 @@
-// Command hivelint runs the determinism & layering static-analysis
-// suite (internal/lint) over the module's own source.
+// Command hivelint runs the determinism & fault-containment
+// static-analysis suite (internal/lint) over the module's own source.
 //
 // Usage:
 //
@@ -8,8 +8,11 @@
 //	hivelint ./internal/vm ./internal/wax
 //	hivelint -json        # machine-readable diagnostics
 //	hivelint -list        # show the analyzers and the layer table
+//	hivelint -unused-pragmas=false   # tolerate stale //hive:lint-ignore
+//	hivelint -budget 30s  # fail if the lint run itself takes longer
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+// Exit status: 0 clean, 1 diagnostics reported (or budget exceeded),
+// 2 usage or load error.
 package main
 
 import (
@@ -18,21 +21,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"time"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	var (
-		root     = flag.String("C", "", "module root (default: walk up from the working directory)")
-		jsonOut  = flag.Bool("json", false, "emit diagnostics as JSON")
-		listOnly = flag.Bool("list", false, "list analyzers and the layering table, then exit")
+		root       = flag.String("C", "", "module root (default: walk up from the working directory)")
+		jsonOut    = flag.Bool("json", false, "emit diagnostics as JSON")
+		listOnly   = flag.Bool("list", false, "list analyzers and the layering table, then exit")
+		unusedFlag = flag.Bool("unused-pragmas", true, "report //hive:lint-ignore pragmas that suppress nothing (full-module runs only)")
+		budget     = flag.Duration("budget", 0, "fail when the lint run exceeds this wall time (0 disables; the suite must stay fast enough for the tier-1 gate)")
 	)
 	flag.Parse()
 
 	cfg := lint.DefaultConfig()
 	if *listOnly {
-		for _, a := range lint.Analyzers() {
+		analyzers := lint.Analyzers()
+		sort.SliceStable(analyzers, func(i, j int) bool { return analyzers[i].Name < analyzers[j].Name })
+		for _, a := range analyzers {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		fmt.Println("\nlayering ranks (imports must flow strictly downward):")
@@ -53,6 +62,7 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	m, err := lint.LoadModule(*root, cfg)
 	if err != nil {
 		fatal(err)
@@ -80,6 +90,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	if !*unusedFlag {
+		res.Diagnostics = dropUnusedPragmaDiags(res.Diagnostics)
+	}
+	elapsed := time.Since(start)
 
 	if *jsonOut {
 		report := struct {
@@ -102,9 +116,26 @@ func main() {
 				len(lint.Analyzers()), len(res.Pragmas))
 		}
 	}
-	if len(res.Diagnostics) > 0 {
+	overBudget := *budget > 0 && elapsed > *budget
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "hivelint: lint run took %v, over the %v budget; the suite must stay cheap enough to run inside the tier-1 gate\n",
+			elapsed.Round(time.Millisecond), *budget)
+	}
+	if len(res.Diagnostics) > 0 || overBudget {
 		os.Exit(1)
 	}
+}
+
+// dropUnusedPragmaDiags filters the unused-pragma reports, keeping every
+// real analyzer diagnostic (-unused-pragmas=false).
+func dropUnusedPragmaDiags(diags []lint.Diagnostic) []lint.Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "unused-pragma" {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // relativize rewrites absolute file names relative to the module root

@@ -143,7 +143,7 @@ func (mg *Manager) Fork(t *sim.Task, leaf kmem.Addr, childCell int) (parentLeaf,
 	mg.arena().WriteWord(parentLeaf, wordParent, uint64(leaf))
 	if childCell == mg.CellID {
 		childLeaf = mg.arena().Alloc(TagNode, nodeWords)
-		mg.Space.Arena(childCell).WriteWord(childLeaf, wordParent, uint64(leaf))
+		mg.arena().WriteWord(childLeaf, wordParent, uint64(leaf))
 		return parentLeaf, childLeaf, nil
 	}
 	res, err := mg.EP.Call(t, mg.proc(), childCell, ProcMakeLeaf,
@@ -152,13 +152,25 @@ func (mg *Manager) Fork(t *sim.Task, leaf kmem.Addr, childCell int) (parentLeaf,
 		mg.arena().Free(parentLeaf)
 		return 0, 0, err
 	}
-	rep, ok := res.(*makeLeafReply)
-	if !ok || rep.Leaf.Cell() != childCell {
+	childLeaf, err = validateMakeLeafReply(res, childCell)
+	if err != nil {
 		mg.arena().Free(parentLeaf)
-		return 0, 0, ErrBadArgs
+		return 0, 0, err
 	}
 	mg.Metrics.Counter("cow.remote_forks").Inc()
-	return parentLeaf, rep.Leaf, nil
+	return parentLeaf, childLeaf, nil
+}
+
+// validateMakeLeafReply vets a makeleaf reply before the leaf address a
+// peer chose becomes a process's address-space root: the reply must be
+// well-formed and the leaf must live on the cell we asked — a corrupt
+// peer must not hand back a pointer into a third cell's tree.
+func validateMakeLeafReply(res any, childCell int) (kmem.Addr, error) {
+	rep, ok := res.(*makeLeafReply)
+	if !ok || rep.Leaf.Cell() != childCell {
+		return 0, ErrBadArgs
+	}
+	return rep.Leaf, nil
 }
 
 // Record registers an anonymous page at the given local leaf (a process
@@ -396,16 +408,27 @@ type makeLeafReply struct {
 	Leaf kmem.Addr
 }
 
+// validateMakeLeafArgs vets a makeleaf request before the parent address
+// it carries is written into this cell's arena: the request must be
+// well-formed and the parent must belong to the calling cell — a corrupt
+// peer must not be able to graft a leaf under a third cell's tree.
+func validateMakeLeafArgs(req *rpc.Request) (*makeLeafArgs, error) {
+	args, ok := req.Args.(*makeLeafArgs)
+	if !ok || args.Parent == kmem.NilAddr {
+		return nil, ErrBadArgs
+	}
+	if args.Parent.Cell() != req.From {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
 func (mg *Manager) registerServices() {
 	mg.EP.Register(ProcMakeLeaf, "cow.makeleaf",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*makeLeafArgs)
-			if !ok || args.Parent == kmem.NilAddr {
-				return nil, 0, true, ErrBadArgs
-			}
-			// Sanity: the parent must belong to the calling cell.
-			if args.Parent.Cell() != req.From {
-				return nil, 0, true, ErrBadArgs
+			args, err := validateMakeLeafArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			leaf := mg.arena().Alloc(TagNode, nodeWords)
 			mg.arena().WriteWord(leaf, wordParent, uint64(args.Parent))

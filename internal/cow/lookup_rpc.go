@@ -76,21 +76,12 @@ func (mg *Manager) lookupRPC(t *sim.Task, leaf kmem.Addr, off int64) (kmem.Addr,
 		if err != nil {
 			return 0, false, fmt.Errorf("%w: lookup RPC: %v", ErrTreeDamaged, err)
 		}
-		rep, ok := res.(*treeLookupReply)
-		if !ok {
-			return 0, false, fmt.Errorf("%w: bad lookup reply", ErrTreeDamaged)
-		}
-		// Sanity-check the reply as message data (§3.1): a found node
-		// must belong to the serving cell.
-		if rep.Found && rep.Node.Cell() != cur.Cell() {
-			return 0, false, fmt.Errorf("%w: reply node %v not on cell %d",
-				ErrTreeDamaged, rep.Node, cur.Cell())
+		rep, err := validateTreeLookupReply(res, cur.Cell())
+		if err != nil {
+			return 0, false, err
 		}
 		if rep.Found {
 			return rep.Node, true, nil
-		}
-		if rep.Next != kmem.NilAddr && rep.Next.Cell() == cur.Cell() {
-			return 0, false, fmt.Errorf("%w: server returned non-progressing next", ErrTreeDamaged)
 		}
 		cur = rep.Next
 	}
@@ -98,6 +89,26 @@ func (mg *Manager) lookupRPC(t *sim.Task, leaf kmem.Addr, off int64) (kmem.Addr,
 		return 0, false, fmt.Errorf("%w: RPC walk exceeded hop bound", ErrTreeDamaged)
 	}
 	return 0, false, nil
+}
+
+// validateTreeLookupReply sanity-checks a tree-lookup reply as message
+// data (§3.1): a found node must belong to the serving cell, and a
+// not-found reply's next pointer must actually leave that cell — a
+// corrupt server must neither plant pointers into third cells' trees
+// nor trap the walker in a loop on its own.
+func validateTreeLookupReply(res any, server int) (*treeLookupReply, error) {
+	rep, ok := res.(*treeLookupReply)
+	if !ok {
+		return nil, fmt.Errorf("%w: bad lookup reply", ErrTreeDamaged)
+	}
+	if rep.Found && rep.Node.Cell() != server {
+		return nil, fmt.Errorf("%w: reply node %v not on cell %d",
+			ErrTreeDamaged, rep.Node, server)
+	}
+	if !rep.Found && rep.Next != kmem.NilAddr && rep.Next.Cell() == server {
+		return nil, fmt.Errorf("%w: server returned non-progressing next", ErrTreeDamaged)
+	}
+	return rep, nil
 }
 
 // walkLocal searches this cell's chain from start, stopping at the first
@@ -130,15 +141,26 @@ func (mg *Manager) walkLocal(t *sim.Task, start kmem.Addr, off int64) (node kmem
 	return 0, false, cur, nil
 }
 
+// validateTreeLookupArgs vets a remote-walk request: the start node must
+// be an address in this cell's arena (a corrupt peer must not steer the
+// walk through another cell's address range).
+func (mg *Manager) validateTreeLookupArgs(req *rpc.Request) (*treeLookupArgs, error) {
+	args, ok := req.Args.(*treeLookupArgs)
+	if !ok || args.Start.Cell() != mg.CellID {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
 // registerLookupService installs the RPC-walk server (called from
 // registerServices). The walk is memory-only, so it is served at interrupt
 // level like the page-fault fast path.
 func (mg *Manager) registerLookupService() {
 	mg.EP.Register(ProcTreeLookup, "cow.treelookup",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*treeLookupArgs)
-			if !ok || args.Start.Cell() != mg.CellID {
-				return nil, 0, true, ErrBadArgs
+			args, err := mg.validateTreeLookupArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			// The interrupt handler cannot charge per-node time as a
 			// task; estimate the visit cost into the service charge.

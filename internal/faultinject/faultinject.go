@@ -606,6 +606,7 @@ func corruptNode(h *core.Hive, target int, node kmem.Addr, path pathology, r uin
 // interior node holding the scene pages).
 func rootOf(h *core.Hive, p *proc.Process) kmem.Addr {
 	arena := h.Space.Arena(p.Cell)
+	//hive:lint-ignore carefulref the injector plays the hardware: it reaches into a victim cell's arena from outside any cell, where the careful protocol does not apply
 	parent, err := arena.ReadWord(p.Leaf, 0)
 	if err != nil {
 		return kmem.NilAddr

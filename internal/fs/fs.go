@@ -181,6 +181,30 @@ func (f *FS) proc() *machine.Processor {
 	return f.EP.Procs[0]
 }
 
+// validateOpenReply sanity-checks an open/create/lookup reply from a
+// remote data home as the careful-message discipline requires. The id
+// and generation are opaque tokens only the data home can interpret —
+// the generation check on every later page operation is what catches a
+// forged or stale id — so shape and a non-negative size are what a
+// client can vet here.
+func validateOpenReply(res any) (*openReply, error) {
+	rep, ok := res.(*openReply)
+	if !ok || rep.Size < 0 {
+		return nil, ErrBadArgs
+	}
+	return rep, nil
+}
+
+// validatePageReply vets a page-fetch reply: shape only — the tag is
+// content, and readers compare it against their expected seed.
+func validatePageReply(res any) (*pageReply, error) {
+	rep, ok := res.(*pageReply)
+	if !ok {
+		return nil, ErrBadArgs
+	}
+	return rep, nil
+}
+
 // Create makes a new empty file and returns an open handle to it.
 func (f *FS) Create(t *sim.Task, path string) (*Handle, error) {
 	home := f.homeFor(path)
@@ -195,9 +219,9 @@ func (f *FS) Create(t *sim.Task, path string) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, ok := res.(*openReply)
-	if !ok {
-		return nil, ErrBadArgs
+	rep, err := validateOpenReply(res)
+	if err != nil {
+		return nil, err
 	}
 	return &Handle{Key: Key{Home: home, ID: rep.ID}, Gen: rep.Gen, fs: f, open: true}, nil
 }
@@ -247,9 +271,9 @@ func (f *FS) Open(t *sim.Task, path string) (*Handle, error) {
 		if err != nil {
 			return nil, err
 		}
-		var ok bool
-		if rep, ok = res.(*openReply); !ok {
-			return nil, ErrBadArgs
+		rep, err = validateOpenReply(res)
+		if err != nil {
+			return nil, err
 		}
 	}
 	if _, err := f.EP.Call(t, f.proc(), home, ProcGetattr,
@@ -275,10 +299,11 @@ func (f *FS) SizePages(t *sim.Task, h *Handle) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if rep, ok := res.(*openReply); ok {
-		return int64(rep.Size), nil
+	rep, err := validateOpenReply(res)
+	if err != nil {
+		return 0, err
 	}
-	return 0, ErrBadArgs
+	return int64(rep.Size), nil
 }
 
 // Rename moves a file within its data home (cross-home renames would be a
@@ -461,9 +486,9 @@ func (f *FS) readPage(t *sim.Task, h *Handle, off int64) (PageData, error) {
 	if err != nil {
 		return PageData{}, err
 	}
-	rep, ok := res.(*pageReply)
-	if !ok {
-		return PageData{}, ErrBadArgs
+	rep, err := validatePageReply(res)
+	if err != nil {
+		return PageData{}, err
 	}
 	f.proc().Use(t, ImportLight+CopyPerPageRead)
 	f.Metrics.Counter("fs.remote_page_fetches").Inc()

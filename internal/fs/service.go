@@ -62,13 +62,118 @@ type writeArgs struct {
 	Tags []uint64
 }
 
+// The validate* functions below are the trust boundary for remote file
+// requests: every field a corrupt peer could forge (paths, keys,
+// offsets, generations, tag counts) is vetted here before it selects or
+// mutates local file state, per the paper's rule that a cell assumes
+// its peers are faulty until proven otherwise.
+
+// validateLookupArgs vets a lookup/unlink request: non-empty path homed
+// at this cell.
+func (f *FS) validateLookupArgs(raw any) (*lookupArgs, error) {
+	args, ok := raw.(*lookupArgs)
+	if !ok || args.Path == "" || len(args.Path) > 4096 {
+		return nil, ErrBadArgs
+	}
+	if f.homeFor(args.Path) != f.CellID {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
+// validateGetattrArgs vets a getattr request, which names a file either
+// by path or — with an empty path — by id in the Component field.
+func (f *FS) validateGetattrArgs(raw any) (*lookupArgs, error) {
+	args, ok := raw.(*lookupArgs)
+	if !ok || len(args.Path) > 4096 || args.Component < 0 {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
+// validateRenameArgs vets a rename request: both paths well-formed and
+// homed at this cell (cross-home renames are rejected at the client).
+func (f *FS) validateRenameArgs(raw any) (*renameArgs, error) {
+	args, ok := raw.(*renameArgs)
+	if !ok || args.Old == "" || args.New == "" {
+		return nil, ErrBadArgs
+	}
+	if f.homeFor(args.Old) != f.CellID || f.homeFor(args.New) != f.CellID {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
+// validateTruncArgs vets a truncate request and resolves its target.
+func (f *FS) validateTruncArgs(raw any) (*truncArgs, *File, error) {
+	args, ok := raw.(*truncArgs)
+	if !ok || args.Key.Home != f.CellID || args.Pages < 0 {
+		return nil, nil, ErrBadArgs
+	}
+	file := f.files[args.Key.ID]
+	if file == nil {
+		return nil, nil, ErrNotFound
+	}
+	if args.Gen != file.Gen {
+		return nil, nil, ErrStale
+	}
+	return args, file, nil
+}
+
+// validateCreateArgs vets a create request: well-formed path, homed here.
+func (f *FS) validateCreateArgs(raw any) (*createArgs, error) {
+	args, ok := raw.(*createArgs)
+	if !ok || args.Path == "" || len(args.Path) > 4096 {
+		return nil, ErrBadArgs
+	}
+	if f.homeFor(args.Path) != f.CellID {
+		return nil, fmt.Errorf("%w: %s not homed here", ErrBadArgs, args.Path)
+	}
+	return args, nil
+}
+
+// validatePageArgs vets a page-fetch request and resolves it to the
+// local file it names: key homed here, sane offset, file present,
+// generation current.
+func (f *FS) validatePageArgs(raw any) (*pageArgs, *File, error) {
+	args, ok := raw.(*pageArgs)
+	if !ok || args.Key.Home != f.CellID || args.Off < 0 {
+		return nil, nil, ErrBadArgs
+	}
+	file := f.files[args.Key.ID]
+	if file == nil {
+		return nil, nil, ErrNotFound
+	}
+	if args.Gen != file.Gen {
+		return nil, nil, ErrStale
+	}
+	return args, file, nil
+}
+
+// validateWriteArgs vets a bulk-write request and resolves its target
+// file, additionally bounding the tag payload a peer may push at us.
+func (f *FS) validateWriteArgs(raw any) (*writeArgs, *File, error) {
+	args, ok := raw.(*writeArgs)
+	if !ok || args.Key.Home != f.CellID || args.Off < 0 || len(args.Tags) > 1024 {
+		return nil, nil, ErrBadArgs
+	}
+	file := f.files[args.Key.ID]
+	if file == nil {
+		return nil, nil, ErrNotFound
+	}
+	if args.Gen != file.Gen {
+		return nil, nil, ErrStale
+	}
+	return args, file, nil
+}
+
 func (f *FS) registerServices() {
 	// Path lookup: interrupt-level (directory maps are in memory).
 	f.EP.Register(ProcLookup, "fs.lookup",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*lookupArgs)
-			if !ok || args.Path == "" {
-				return nil, 0, true, ErrBadArgs
+			args, err := f.validateLookupArgs(req.Args)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			id, ok := f.byPath[args.Path]
 			if !ok {
@@ -79,9 +184,9 @@ func (f *FS) registerServices() {
 
 	f.EP.Register(ProcGetattr, "fs.getattr",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*lookupArgs)
-			if !ok {
-				return nil, 0, true, ErrBadArgs
+			args, err := f.validateGetattrArgs(req.Args)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if args.Path == "" {
 				// Getattr by file id (size queries on open handles).
@@ -102,40 +207,27 @@ func (f *FS) registerServices() {
 
 	f.EP.Register(ProcRename, "fs.rename", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*renameArgs)
-			if !ok || args.Old == "" || args.New == "" {
-				return nil, ErrBadArgs
-			}
-			if f.homeFor(args.Old) != f.CellID || f.homeFor(args.New) != f.CellID {
-				return nil, ErrBadArgs
+			args, err := f.validateRenameArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			return nil, f.Rename(t, args.Old, args.New)
 		})
 
 	f.EP.Register(ProcTruncate, "fs.truncate", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*truncArgs)
-			if !ok || args.Key.Home != f.CellID || args.Pages < 0 {
-				return nil, ErrBadArgs
-			}
-			file := f.files[args.Key.ID]
-			if file == nil {
-				return nil, ErrNotFound
-			}
-			if args.Gen != file.Gen {
-				return nil, ErrStale
+			args, file, err := f.validateTruncArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			return nil, f.truncateLocal(t, file, args.Pages)
 		})
 
 	f.EP.Register(ProcCreate, "fs.create", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*createArgs)
-			if !ok || args.Path == "" || len(args.Path) > 4096 {
-				return nil, ErrBadArgs
-			}
-			if f.homeFor(args.Path) != f.CellID {
-				return nil, fmt.Errorf("%w: %s not homed here", ErrBadArgs, args.Path)
+			args, err := f.validateCreateArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			f.proc().Use(t, LookupServer)
 			file := f.createLocal(args.Path)
@@ -147,16 +239,9 @@ func (f *FS) registerServices() {
 	// back to the queued path.
 	f.EP.Register(ProcReadPage, "fs.readpage",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*pageArgs)
-			if !ok || args.Key.Home != f.CellID || args.Off < 0 {
-				return nil, 0, true, ErrBadArgs
-			}
-			file := f.files[args.Key.ID]
-			if file == nil {
-				return nil, 0, true, ErrNotFound
-			}
-			if args.Gen != file.Gen {
-				return nil, 0, true, ErrStale
+			args, _, err := f.validatePageArgs(req.Args)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if f.VM.InRecovery() || f.VM.Lock.Locked() {
 				return nil, 0, false, nil
@@ -169,23 +254,15 @@ func (f *FS) registerServices() {
 			return &pageReply{Tag: tag, Corrupt: corrupt}, vm.MiscVMDataHome, true, nil
 		},
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*pageArgs)
-			if !ok || args.Key.Home != f.CellID || args.Off < 0 {
-				return nil, ErrBadArgs
-			}
-			file := f.files[args.Key.ID]
-			if file == nil {
-				return nil, ErrNotFound
-			}
-			if args.Gen != file.Gen {
-				return nil, ErrStale
+			args, file, err := f.validatePageArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			if f.VM.InRecovery() {
 				return nil, vm.ErrRecovering
 			}
 			pf, ok := f.VM.Lookup(lpFor(args.Key, args.Off))
 			if !ok {
-				var err error
 				pf, err = f.fillFromDisk(t, lpFor(args.Key, args.Off), file)
 				if err != nil {
 					return nil, err
@@ -198,28 +275,18 @@ func (f *FS) registerServices() {
 	// Bulk write: queued (it allocates frames and may evict).
 	f.EP.Register(ProcWriteBulk, "fs.writebulk", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*writeArgs)
-			if !ok || args.Key.Home != f.CellID || args.Off < 0 || len(args.Tags) > 1024 {
-				return nil, ErrBadArgs
-			}
-			file := f.files[args.Key.ID]
-			if file == nil {
-				return nil, ErrNotFound
-			}
-			if args.Gen != file.Gen {
-				return nil, ErrStale
+			args, file, err := f.validateWriteArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			return nil, f.writeLocal(t, file, args.Off, args.Tags)
 		})
 
 	f.EP.Register(ProcUnlink, "fs.unlink", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*lookupArgs)
-			if !ok || args.Path == "" {
-				return nil, ErrBadArgs
-			}
-			if f.homeFor(args.Path) != f.CellID {
-				return nil, ErrBadArgs
+			args, err := f.validateLookupArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			id, ok := f.byPath[args.Path]
 			if !ok {

@@ -207,9 +207,9 @@ func (f *FS) createAt(t *sim.Task, path string, cell int) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, ok := res.(*openReply)
-	if !ok {
-		return nil, ErrBadArgs
+	rep, err := validateOpenReply(res)
+	if err != nil {
+		return nil, err
 	}
 	return &Handle{Key: Key{Home: cell, ID: rep.ID}, Gen: rep.Gen, fs: f, open: true}, nil
 }
@@ -224,9 +224,9 @@ func (f *FS) openAt(t *sim.Task, path string, cell int) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, ok := res.(*openReply)
-	if !ok {
-		return nil, ErrBadArgs
+	rep, err := validateOpenReply(res)
+	if err != nil {
+		return nil, err
 	}
 	return &Handle{Key: Key{Home: cell, ID: rep.ID}, Gen: rep.Gen, fs: f, open: true}, nil
 }

@@ -78,7 +78,7 @@ func RunHardware81() *Hardware81 {
 	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
 		proc0 := h.Cells[0].Sched.Procs[0]
 		// Generate SIPS traffic (a ping RPC) before checking the counter.
-		h.Cells[0].EP.Call(t, proc0, 1, rpcPingProc, nil, rpc.CallOpts{})
+		vet1(h.Cells[0].EP.Call(t, proc0, 1, rpcPingProc, nil, rpc.CallOpts{}))
 		lo1, _ := m.NodePages(1)
 		// Firewall: remote write denied, local allowed.
 		errRemote := m.WritePage(t, proc0, lo1, 1)
@@ -246,7 +246,7 @@ func RunSIPSvsIPI() *SIPSvsIPI {
 		// SIPS round trip: the null RPC.
 		start := t.Now()
 		for i := 0; i < n; i++ {
-			h.Cells[0].EP.Call(t, proc0, 1, rpcPingProc, nil, rpc.CallOpts{})
+			vet1(h.Cells[0].EP.Call(t, proc0, 1, rpcPingProc, nil, rpc.CallOpts{}))
 		}
 		out.SIPSUs = (t.Now() - start).Micros() / n
 
@@ -314,12 +314,12 @@ func RunCOWLookupComparison() *COWLookupComparison {
 			mg := h.Cells[1].COW
 			start := ct.Now()
 			for i := 0; i < n; i++ {
-				mg.LookupVia(ct, 0 /* SharedMemory */, childLeaf, 7)
+				vet2(mg.LookupVia(ct, 0 /* SharedMemory */, childLeaf, 7))
 			}
 			out.SharedMemUs = (ct.Now() - start).Micros() / n
 			start = ct.Now()
 			for i := 0; i < n; i++ {
-				mg.LookupVia(ct, 1 /* RPCWalk */, childLeaf, 7)
+				vet2(mg.LookupVia(ct, 1 /* RPCWalk */, childLeaf, 7))
 			}
 			out.RPCUs = (ct.Now() - start).Micros() / n
 
@@ -416,14 +416,14 @@ func RunCCNOW() *CCNOW {
 	h := core.Boot(cfg)
 
 	runOn(h, 1, func(p *proc.Process, t *sim.Task) {
-		hd, _ := h.Cells[1].FS.Create(t, "/now/file")
-		h.Cells[1].FS.Write(t, hd, 64, 3)
+		hd := vet1(h.Cells[1].FS.Create(t, "/now/file"))
+		vet(h.Cells[1].FS.Write(t, hd, 64, 3))
 	})
 	runOn(h, 0, func(p *proc.Process, t *sim.Task) {
 		key := fileKey(h, 1, "/now/file")
 		// Local baseline.
-		hl, _ := h.Cells[0].FS.Create(t, "/l")
-		h.Cells[0].FS.Write(t, hl, 1, 4)
+		hl := vet1(h.Cells[0].FS.Create(t, "/l"))
+		vet(h.Cells[0].FS.Write(t, hl, 1, 4))
 		lpl := vm.LogicalPage{Obj: vm.ObjID{Kind: vm.FileObj, Home: 0, Num: fileKey(h, 0, "/l")}}
 		pf, _ := h.Cells[0].VM.Fault(t, lpl, false)
 		start := t.Now()

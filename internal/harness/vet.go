@@ -1,0 +1,37 @@
+package harness
+
+import "fmt"
+
+// The harness microbenchmarks run against healthy cells: every RPC
+// targets a live peer and every file operation names a path the setup
+// phase created. An error here is a harness bug, not a fault-containment
+// event, so the benchmarks fail loudly instead of silently timing a
+// broken operation (which is what discarded errors — flagged by the
+// errdrop analyzer — used to do).
+//
+// The vet* names are deliberate: they match the lint suite's sanitizer
+// convention, because the success assertion is the harness's validation
+// of a remote result — a reply that passed it is vouched for. A neutral
+// name (must1) would instead make these generic identity functions a
+// module-wide taint mixer: return taint is tracked per function, so one
+// tainted RPC reply threaded through would taint every value the helper
+// ever returns.
+
+// vet panics on a benchmark-infrastructure error.
+func vet(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("harness: benchmark operation failed: %v", err))
+	}
+}
+
+// vet1 returns v or panics on a benchmark-infrastructure error.
+func vet1[T any](v T, err error) T {
+	vet(err)
+	return v
+}
+
+// vet2 returns (a, b) or panics on a benchmark-infrastructure error.
+func vet2[A, B any](a A, b B, err error) (A, B) {
+	vet(err)
+	return a, b
+}

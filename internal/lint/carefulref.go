@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// carefulref: the §3.3 careful-reference discipline, machine-checked.
+// Hive cells read each other's exported memory, and a remote read can
+// return garbage (bus error, stale parity, a dying cell's scribbles) at
+// any moment — so the paper routes every such read through the careful
+// reference protocol: bounded-time access, tag re-check, no kernel state
+// changed until the value is vetted. In this module the protocol lives in
+// internal/careful (Reader/Ctx); the raw substrate is kmem: Space.Arena(c)
+// hands out cell c's arena, and Space.ReadWord/TagAt dereference an
+// arbitrary cell's address directly.
+//
+// The rule: outside the CarefulAllow packages (careful itself, kmem), no
+// code may (a) call Space.ReadWord/TagAt — those take an Addr that can
+// point into any cell — or (b) touch an arena obtained as
+// Space.Arena(expr) where expr is not self-evidently the cell's own ID.
+// The taint engine tracks arenas from the Arena() call through variables,
+// helper returns and parameters to the ReadWord/WriteWord/TagAt/Free
+// sites, so a helper like cow's `func (mg *Manager) arena() *kmem.Arena {
+// return mg.Space.Arena(mg.CellID) }` is recognised as local and stays
+// clean, while an arena threaded through three calls from a remote cell
+// ID still gets flagged at the dereference.
+var carefulrefAnalyzer = &Analyzer{
+	Name:      "carefulref",
+	Doc:       "reads of another cell's kmem arena must go through careful.Reader/Ctx (§3.3 careful references); raw Space.ReadWord/TagAt and remote Space.Arena(c) dereferences are flagged outside internal/careful",
+	RunModule: runCarefulref,
+}
+
+// carefulArenaSinks are the *kmem.Arena methods that dereference or
+// mutate arena memory. CorruptWord and EachTagged are deliberately
+// absent: CorruptWord is the fault-injection API (it exists to simulate
+// hardware scribbling), and EachTagged is the audit walk, which runs on
+// the local arena by construction.
+var carefulArenaSinks = map[string]bool{
+	"ReadWord": true, "WriteWord": true, "TagAt": true, "Free": true,
+}
+
+func runCarefulref(mp *ModulePass) {
+	tt := NewTaint(mp.Pkgs, mp.Graph(), &TaintSpec{
+		CallSource: arenaOfPossiblyRemoteCell,
+	})
+	for _, pkg := range mp.Pkgs {
+		if pkg.Info == nil || !mp.Cfg.ModelPackage(pkg.Path) || mp.Cfg.CarefulAllow[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				recv := pkg.Info.TypeOf(sel.X)
+				switch {
+				case isKmemType(recv, "Space") && (sel.Sel.Name == "ReadWord" || sel.Sel.Name == "TagAt"):
+					mp.Reportf(call.Pos(), "Space.%s dereferences an arbitrary cell's memory raw; remote reads must go through careful.Reader/Ctx (§3.3)", sel.Sel.Name)
+				case isKmemType(recv, "Arena") && carefulArenaSinks[sel.Sel.Name]:
+					if o := tt.TaintOf(pkg, sel.X); o != nil {
+						mp.Reportf(call.Pos(), "Arena.%s on %s; another cell's memory must be read through careful.Reader/Ctx (§3.3)", sel.Sel.Name, o.Desc)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// arenaOfPossiblyRemoteCell marks Space.Arena(expr) results tainted
+// unless expr names the caller's own cell ID (an identifier or selector
+// ending in CellID/cellID/self — the module-wide spelling of "my cell").
+func arenaOfPossiblyRemoteCell(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Arena" || len(call.Args) != 1 {
+		return "", false
+	}
+	fn := CalleeFunc(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "repro/internal/kmem" {
+		return "", false
+	}
+	if isSelfCellExpr(call.Args[0]) {
+		return "", false
+	}
+	return "a possibly-remote cell's arena (Space.Arena whose argument is not the local cell ID)", true
+}
+
+// isSelfCellExpr reports whether e syntactically names the local cell:
+// a bare or selected identifier spelled CellID, cellID or self.
+func isSelfCellExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return selfCellName(e.Name)
+	case *ast.SelectorExpr:
+		return selfCellName(e.Sel.Name)
+	}
+	return false
+}
+
+func selfCellName(name string) bool {
+	return name == "CellID" || name == "cellID" || name == "self"
+}
+
+// isKmemType reports whether t is kmem.<name> or *kmem.<name>.
+func isKmemType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "repro/internal/kmem"
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errdrop: RPC failures are never silently dropped. In Hive an RPC that
+// returns ErrTimeout or ErrShutdown is a *failure hint* — the callee may
+// be dead, and the caller is obliged to react (consult membership, abort
+// the operation, requeue). A discarded error turns a detectable cell
+// failure into silent state divergence, which is how containment erodes
+// one forgotten `_` at a time.
+//
+// The analyzer seeds on (*rpc.Endpoint).Call and closes over the call
+// graph: any module function whose last result is an error and whose body
+// calls a member is itself a member (its error may carry the timeout
+// upward). At every member call site in model code it flags three
+// shapes: the bare statement call (error discarded entirely), the error
+// assigned to `_`, and the error assigned to a variable that is never
+// subsequently read in that function. Deliberate best-effort sends (alert
+// fan-out to possibly-dead peers) carry //hive:lint-ignore errdrop
+// pragmas naming the reason.
+var errdropAnalyzer = &Analyzer{
+	Name:      "errdrop",
+	Doc:       "errors from rpc calls (and functions propagating them) must not be discarded, assigned to _, or assigned and never read — a dropped ErrTimeout hides a dead cell",
+	RunModule: runErrdrop,
+}
+
+func runErrdrop(mp *ModulePass) {
+	g := mp.Graph()
+	members := rpcErroringFuncs(mp, g)
+	for _, pkg := range mp.Pkgs {
+		if pkg.Info == nil || !mp.Cfg.ModelPackage(pkg.Path) {
+			continue
+		}
+		// rpc implements the calls; its internals shuffle errors by design.
+		if pkg.Path == "repro/internal/rpc" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkErrdropIn(mp, pkg, fd, members)
+			}
+		}
+	}
+}
+
+// rpcErroringFuncs computes the member set: functions whose error result
+// may carry an rpc failure. Seeded with (*rpc.Endpoint).Call, closed
+// under "returns error and calls a member".
+func rpcErroringFuncs(mp *ModulePass, g *CallGraph) map[*types.Func]bool {
+	members := map[*types.Func]bool{}
+	isSeed := func(fn *types.Func) bool {
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		return fn.Pkg().Path() == "repro/internal/rpc" && fn.Name() == "Call"
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if n.Decl == nil || members[n.Fn] || !returnsError(n.Fn) {
+				continue
+			}
+			calls := false
+			ast.Inspect(n.Decl, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || n.Pkg == nil {
+					return true
+				}
+				callee := CalleeFunc(n.Pkg.Info, call)
+				if callee != nil && (isSeed(callee) || members[callee.Origin()]) {
+					calls = true
+				}
+				return !calls
+			})
+			if calls {
+				members[n.Fn] = true
+				changed = true
+			}
+		}
+	}
+	return members
+}
+
+// returnsError reports whether fn's last result is the error type.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Implements(last, errorIface()) || last.String() == "error"
+}
+
+var errIfaceCache *types.Interface
+
+func errorIface() *types.Interface {
+	if errIfaceCache == nil {
+		errIfaceCache = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errIfaceCache
+}
+
+// checkErrdropIn flags dropped member-call errors inside one function.
+func checkErrdropIn(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, members map[*types.Func]bool) {
+	isMemberCall := func(call *ast.CallExpr) (*types.Func, bool) {
+		fn := CalleeFunc(pkg.Info, call)
+		if fn == nil {
+			return nil, false
+		}
+		fn = fn.Origin()
+		if fn.Pkg() != nil && fn.Pkg().Path() == "repro/internal/rpc" && fn.Name() == "Call" {
+			return fn, true
+		}
+		return fn, members[fn]
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if fn, member := isMemberCall(call); member {
+					mp.Reportf(call.Pos(), "result of %s discarded; its error may be rpc.ErrTimeout/ErrShutdown (a dead-cell hint that must be handled)", fn.Name())
+				}
+			}
+		case *ast.GoStmt:
+			if fn, member := isMemberCall(n.Call); member {
+				mp.Reportf(n.Call.Pos(), "result of %s discarded by go statement; its error may be rpc.ErrTimeout/ErrShutdown (a dead-cell hint that must be handled)", fn.Name())
+			}
+		case *ast.DeferStmt:
+			if fn, member := isMemberCall(n.Call); member {
+				mp.Reportf(n.Call.Pos(), "result of %s discarded by defer; its error may be rpc.ErrTimeout/ErrShutdown (a dead-cell hint that must be handled)", fn.Name())
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, member := isMemberCall(call)
+			if !member {
+				return true
+			}
+			errLhs := n.Lhs[len(n.Lhs)-1]
+			id, ok := errLhs.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				mp.Reportf(call.Pos(), "error of %s assigned to _; rpc.ErrTimeout/ErrShutdown is a dead-cell hint that must be handled", fn.Name())
+				return true
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj != nil && !objReadIn(pkg, fd.Body, obj) {
+				mp.Reportf(call.Pos(), "error of %s assigned to %s but never read in %s; rpc.ErrTimeout/ErrShutdown is a dead-cell hint that must be handled", fn.Name(), id.Name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// objReadIn reports whether obj is read (used other than as an
+// assignment target) anywhere in body. Flow-insensitive: a read before
+// the assignment also counts, which errs toward silence.
+func objReadIn(pkg *Package, body *ast.BlockStmt, obj types.Object) bool {
+	assignLHS := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					assignLHS[id] = true
+				}
+			}
+		}
+		return true
+	})
+	read := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || assignLHS[id] {
+			return true
+		}
+		if pkg.Info.Uses[id] == obj {
+			read = true
+		}
+		return !read
+	})
+	return read
+}

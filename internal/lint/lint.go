@@ -6,8 +6,8 @@
 // DESIGN.md §1 claims every experiment is "fully deterministic (seeded
 // PRNG, strictly ordered event queue)". That property used to be
 // enforced only by convention; hivelint makes it machine-checked. Seven
-// analyzers police the hazards that break reproducibility or erode the
-// layering the design depends on:
+// per-package analyzers police the hazards that break reproducibility or
+// erode the layering the design depends on:
 //
 //	walltime    no wall-clock time in model code (virtual time only)
 //	globalrand  no package-level math/rand (engine-seeded *rand.Rand only)
@@ -17,6 +17,20 @@
 //	layering    the DESIGN.md §2 import DAG, substrates below core
 //	shardcross  cross-shard work through the mailbox only, never a raw
 //	            shard engine pulled from the cluster
+//
+// On top of those, an interprocedural layer (a module-wide call graph
+// plus a conservative taint engine, see callgraph.go and taint.go)
+// machine-checks the fault-containment disciplines the Hive paper states
+// in prose:
+//
+//	carefulref   reads of another cell's arena go through careful.Reader
+//	             (the §3.3 careful-reference protocol)
+//	rpctaint     data from RPC requests / SIPS payloads is validated
+//	             before it mutates kernel state (distrust other cells)
+//	errdrop      RPC call errors (ErrTimeout/ErrShutdown) are never
+//	             silently discarded — a dropped failure erodes containment
+//	shardescape  closures crossing shards via Engine.Send/SendGlobal do
+//	             not capture shard-local mutable state by reference
 //
 // The suite runs three ways: the cmd/hivelint CLI (with -json), the
 // `make lint` target, and an in-tree self-test that lints the whole
@@ -60,25 +74,34 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check run over a loaded package.
+// Analyzer is one named check. Per-package analyzers set Run; the
+// interprocedural analyzers set RunModule and see every loaded package at
+// once, plus the call graph.
 type Analyzer struct {
 	Name string
 	Doc  string // one-line rule, shown by `hivelint -list` and in docs
 	Run  func(*Pass)
+	// RunModule, when set, runs once over the whole loaded package set
+	// (the module, or a fixture subset in tests) instead of per package.
+	RunModule func(*ModulePass)
 }
 
-// Analyzers returns the full hivelint suite in a fixed order.
+// Analyzers returns the full hivelint suite in a fixed order: the
+// per-package syntactic checks first, then the interprocedural layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{walltimeAnalyzer, globalrandAnalyzer, maporderAnalyzer,
-		rawconcAnalyzer, stablesortAnalyzer, layeringAnalyzer, shardcrossAnalyzer}
+		rawconcAnalyzer, stablesortAnalyzer, layeringAnalyzer, shardcrossAnalyzer,
+		carefulrefAnalyzer, rpctaintAnalyzer, errdropAnalyzer, shardescapeAnalyzer}
 }
 
-// AnalyzerNames returns the suite's analyzer names in a fixed order.
+// AnalyzerNames returns the suite's analyzer names sorted alphabetically
+// (the order -list and -json present them in).
 func AnalyzerNames() []string {
 	var names []string
 	for _, a := range Analyzers() {
 		names = append(names, a.Name)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -93,8 +116,13 @@ type Config struct {
 	// channels and sync primitives directly.
 	RawconcAllow map[string]bool
 	// ShardcrossAllow lists import paths allowed to pull raw shard
-	// engines out of a sim.Cluster (the sim package itself).
+	// engines out of a sim.Cluster (the sim package itself). The same
+	// paths are exempt from shardescape: the mailbox implementation
+	// necessarily handles crossing closures directly.
 	ShardcrossAllow map[string]bool
+	// CarefulAllow lists import paths allowed to read kmem arenas raw:
+	// the careful package (it implements the protocol) and kmem itself.
+	CarefulAllow map[string]bool
 	// Layers ranks every internal package; imports must flow strictly
 	// downward (see layering.go). Substrates are ranks 0-3, core 4+.
 	Layers map[string]int
@@ -115,6 +143,10 @@ func DefaultConfig() *Config {
 		},
 		ShardcrossAllow: map[string]bool{
 			"repro/internal/sim": true, // implements the mailbox itself
+		},
+		CarefulAllow: map[string]bool{
+			"repro/internal/careful": true, // implements the protocol
+			"repro/internal/kmem":    true, // the arena itself
 		},
 		Layers: map[string]int{
 			// Substrates (DESIGN.md §2 "built from scratch").
@@ -503,38 +535,158 @@ func (p *Package) Pragmas() []PragmaUse {
 }
 
 // Lint runs the given analyzers (nil = the full suite) over every
-// package in the module. Diagnostics come back sorted by position.
+// package in the module: the per-package analyzers package by package,
+// then the interprocedural analyzers once over the whole loaded set.
+// When the full suite ran, every //hive:lint-ignore pragma that
+// suppressed nothing is reported as an "unused-pragma" diagnostic — a
+// stale exception is itself a violation. Diagnostics come back sorted by
+// position.
 func (m *Module) Lint(analyzers []*Analyzer) (*Result, error) {
-	if analyzers == nil {
+	fullSuite := analyzers == nil
+	if fullSuite {
 		analyzers = Analyzers()
 	}
 	dirs, err := m.PackageDirs()
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := m.LoadPackage(dir)
 		if err != nil {
 			return nil, err
 		}
-		res.Diagnostics = append(res.Diagnostics, RunAnalyzers(pkg, m.Cfg, analyzers)...)
+		pkgs = append(pkgs, pkg)
+	}
+	res := &Result{}
+	res.Diagnostics = LintPackages(pkgs, m.Cfg, analyzers, fullSuite)
+	for _, pkg := range pkgs {
 		res.Pragmas = append(res.Pragmas, pkg.Pragmas()...)
 	}
-	SortDiagnostics(res.Diagnostics)
+	sortPragmas(res.Pragmas)
 	return res, nil
 }
 
-// RunAnalyzers applies analyzers to one loaded package and returns the
-// diagnostics, including malformed-pragma reports.
-func RunAnalyzers(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+// LintPackages runs the per-package and module-level analyzers over an
+// explicit package set. With reportUnused set, pragmas that suppressed
+// nothing are reported (only meaningful when the analyzer set is the
+// full suite — a pragma for an analyzer that never ran is not stale).
+func LintPackages(pkgs []*Package, cfg *Config, analyzers []*Analyzer, reportUnused bool) []Diagnostic {
 	var diags []Diagnostic
-	pkg.pragmas = collectPragmas(pkg.Fset, pkg.Files, &diags)
+	for _, pkg := range pkgs {
+		pkg.pragmas = collectPragmas(pkg.Fset, pkg.Files, &diags)
+		for _, a := range analyzers {
+			if a.Run != nil {
+				a.Run(&Pass{Pkg: pkg, Cfg: cfg, an: a, diags: &diags})
+			}
+		}
+	}
+	mp := newModulePass(pkgs, cfg, &diags)
 	for _, a := range analyzers {
-		a.Run(&Pass{Pkg: pkg, Cfg: cfg, an: a, diags: &diags})
+		if a.RunModule != nil {
+			mp.an = a
+			a.RunModule(mp)
+		}
+	}
+	if reportUnused {
+		for _, pkg := range pkgs {
+			for _, pr := range pkg.pragmas {
+				if !pr.used {
+					diags = append(diags, Diagnostic{
+						File: pr.file, Line: pr.line, Col: 1,
+						Analyzer: "unused-pragma",
+						Message:  fmt.Sprintf("//hive:lint-ignore %s suppresses nothing; delete the stale pragma", pr.analyzer),
+					})
+				}
+			}
+		}
 	}
 	SortDiagnostics(diags)
 	return diags
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// diagnostics, including malformed-pragma reports. Module-level
+// analyzers see just this package.
+func RunAnalyzers(pkg *Package, cfg *Config, analyzers []*Analyzer) []Diagnostic {
+	return LintPackages([]*Package{pkg}, cfg, analyzers, false)
+}
+
+// ModulePass is an interprocedural analyzer's view of the whole loaded
+// package set: every package, the call graph over them, and shared
+// access to diagnostics with pragma suppression.
+type ModulePass struct {
+	Pkgs []*Package
+	Cfg  *Config
+
+	an        *Analyzer
+	diags     *[]Diagnostic
+	pkgByFile map[string]*Package
+	graph     *CallGraph
+}
+
+func newModulePass(pkgs []*Package, cfg *Config, diags *[]Diagnostic) *ModulePass {
+	mp := &ModulePass{Pkgs: pkgs, Cfg: cfg, diags: diags, pkgByFile: map[string]*Package{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			mp.pkgByFile[pkg.Fset.Position(f.Pos()).Filename] = pkg
+		}
+	}
+	return mp
+}
+
+// Graph returns the call graph over the pass's packages, built on first
+// use and shared by all module analyzers.
+func (mp *ModulePass) Graph() *CallGraph {
+	if mp.graph == nil {
+		mp.graph = BuildCallGraph(mp.Pkgs)
+	}
+	return mp.graph
+}
+
+// Fset returns the shared FileSet (every package in a pass shares one).
+func (mp *ModulePass) Fset() *token.FileSet {
+	if len(mp.Pkgs) > 0 {
+		return mp.Pkgs[0].Fset
+	}
+	return nil
+}
+
+// Reportf records a diagnostic at pos unless an ignore pragma in the
+// owning package covers the line.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := mp.Fset().Position(pos)
+	if pkg := mp.pkgByFile[position.Filename]; pkg != nil {
+		for _, pr := range pkg.pragmas {
+			if pr.analyzer == mp.an.Name && pr.file == position.Filename &&
+				(pr.line == position.Line || pr.line == position.Line-1) {
+				pr.used = true
+				return
+			}
+		}
+	}
+	*mp.diags = append(*mp.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: mp.an.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// sortPragmas orders pragma uses by file, line, analyzer so the CLI and
+// self-test see them deterministically regardless of load order.
+func sortPragmas(ps []PragmaUse) {
+	sort.SliceStable(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 }
 
 // SortDiagnostics orders by file, line, column, analyzer, message.

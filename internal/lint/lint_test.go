@@ -160,6 +160,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"layering", "repro/internal/machine", false, layeringAnalyzer},
 		{"layering_trace", "repro/internal/trace", false, layeringAnalyzer},
 		{"layering_unknown", "repro/internal/mystery", false, layeringAnalyzer},
+		{"carefulref", "repro/internal/carefulref", true, carefulrefAnalyzer},
+		{"rpctaint", "repro/internal/rpctaint", true, rpctaintAnalyzer},
+		{"errdrop", "repro/internal/errdrop", true, errdropAnalyzer},
+		{"shardescape", "repro/internal/shardescape", true, shardescapeAnalyzer},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -194,6 +198,14 @@ func TestAllowlists(t *testing.T) {
 		{"shardcross", "repro/cmd/hivesim", true, shardcrossAnalyzer},
 		// layering only constrains internal packages.
 		{"layering", "repro/cmd/hivesim", false, layeringAnalyzer},
+		// carefulref exempts the protocol's own implementation.
+		{"carefulref", "repro/internal/careful", true, carefulrefAnalyzer},
+		// the interprocedural analyzers only police model packages. (The
+		// fixtures import the real rpc/sim packages, so they cannot load
+		// under those paths; cmd/ stands in for "out of scope".)
+		{"rpctaint", "repro/cmd/hivebench", true, rpctaintAnalyzer},
+		{"errdrop", "repro/cmd/hivesim", true, errdropAnalyzer},
+		{"shardescape", "repro/cmd/hivesim", true, shardescapeAnalyzer},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture+"_as_"+strings.ReplaceAll(tc.as, "/", "_"), func(t *testing.T) {

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// shardescape: the semantic upgrade of shardcross. The sharded engine's
+// determinism rests on closures crossing shards carrying *values*, not
+// references into the sending shard's mutable state:
+//
+//   - Engine.Send(dst, d, fn) is asynchronous: the sender keeps running
+//     while fn waits in the mailbox, so fn may neither WRITE a captured
+//     variable of the sending function (the write lands in the sender's
+//     shard from the receiver's goroutine — a data race and a
+//     merge-order dependence) nor READ a captured variable the sender
+//     still mutates (the value read depends on how far the sender got —
+//     exactly the scheduling dependence the stamped mailbox exists to
+//     remove). Reads of variables assigned once at declaration are fine:
+//     they are immutable snapshots.
+//   - Engine.SendGlobal(fn) runs fn in the global phase with every shard
+//     quiescent, so reads are safe — but writes to captured shard-local
+//     variables still race with nothing flushing them back
+//     deterministically, so writes are flagged.
+//   - Engine.Global(t, fn) parks the calling task until fn has run: the
+//     handoff is synchronous and the shards are quiescent, so capturing
+//     by reference — including writing results back through captured
+//     variables — is the sanctioned pattern (careful.Ctx and wax do
+//     exactly this). Global closures are exempt.
+//
+// The check is interprocedural: a function that takes a func() parameter
+// and forwards it into a Send position (machine's sendWire) imposes
+// Send's policy on closure literals at its own call sites, closed
+// transitively over the call graph.
+//
+// Caveats (DESIGN.md): only function literals are analyzed (a closure
+// built elsewhere and passed through a variable is not traced), and
+// capture is judged at variable granularity — a write through a captured
+// pointer (c.failed = true) is a *read* of c here. Both are precision
+// losses on the quiet side; the analyzer is a tripwire for the common
+// shapes, not a proof.
+var shardescapeAnalyzer = &Analyzer{
+	Name:      "shardescape",
+	Doc:       "closures crossing shards via Engine.Send must not capture shard-local mutable state by reference (no writes; no reads of still-mutated variables); SendGlobal closures must not write captures; Global is the sanctioned synchronous handoff",
+	RunModule: runShardescape,
+}
+
+// escapePolicy is the restriction a crossing position imposes.
+type escapePolicy int
+
+const (
+	escapeNone       escapePolicy = iota // Global: exempt
+	escapeNoWrite                        // SendGlobal: reads fine, writes flagged
+	escapeNoWriteOrMutableRead
+)
+
+func sendPolicy(method string) (escapePolicy, bool) {
+	switch method {
+	case "Send":
+		return escapeNoWriteOrMutableRead, true
+	case "SendGlobal":
+		return escapeNoWrite, true
+	case "Global":
+		return escapeNone, true
+	}
+	return escapeNone, false
+}
+
+func runShardescape(mp *ModulePass) {
+	g := mp.Graph()
+	forwarders := escapeForwarders(mp, g)
+	for _, pkg := range mp.Pkgs {
+		if pkg.Info == nil || !mp.Cfg.ModelPackage(pkg.Path) || mp.Cfg.ShardcrossAllow[pkg.Path] {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					for i, arg := range call.Args {
+						lit, ok := arg.(*ast.FuncLit)
+						if !ok {
+							continue
+						}
+						pol, method := crossingPolicy(pkg, call, i, forwarders)
+						if pol > escapeNone {
+							checkEscape(mp, pkg, fd, lit, pol, method)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// crossingPolicy decides whether argument i of call is a cross-shard
+// closure position, via a direct Engine method or a recorded forwarder.
+func crossingPolicy(pkg *Package, call *ast.CallExpr, i int, forwarders map[*types.Func]map[int]escapePolicy) (escapePolicy, string) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isSimEngine(pkg.Info.TypeOf(sel.X)) {
+		if pol, ok := sendPolicy(sel.Sel.Name); ok {
+			return pol, "Engine." + sel.Sel.Name
+		}
+	}
+	if fn := CalleeFunc(pkg.Info, call); fn != nil {
+		if pol, ok := forwarders[fn.Origin()][i]; ok {
+			return pol, fn.Name()
+		}
+	}
+	return escapeNone, ""
+}
+
+// escapeForwarders finds (function, parameter index) pairs whose func()
+// parameter flows into a Send/SendGlobal closure position, transitively.
+func escapeForwarders(mp *ModulePass, g *CallGraph) map[*types.Func]map[int]escapePolicy {
+	fw := map[*types.Func]map[int]escapePolicy{}
+	record := func(fn *types.Func, idx int, pol escapePolicy) bool {
+		m := fw[fn]
+		if m == nil {
+			m = map[int]escapePolicy{}
+			fw[fn] = m
+		}
+		if pol > m[idx] {
+			m[idx] = pol
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range g.Nodes() {
+			if node.Decl == nil || node.Decl.Body == nil || node.Pkg == nil {
+				continue
+			}
+			sig := node.Fn.Type().(*types.Signature)
+			paramIdx := map[types.Object]int{}
+			for i := 0; i < sig.Params().Len(); i++ {
+				p := sig.Params().At(i)
+				if _, ok := p.Type().Underlying().(*types.Signature); ok {
+					paramIdx[p] = i
+				}
+			}
+			if len(paramIdx) == 0 {
+				continue
+			}
+			pkg := node.Pkg
+			ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for i, arg := range call.Args {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					pi, isParam := paramIdx[pkg.Info.Uses[id]]
+					if !isParam {
+						continue
+					}
+					pol, _ := crossingPolicy(pkg, call, i, fw)
+					if pol > escapeNone && record(node.Fn, pi, pol) {
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fw
+}
+
+// checkEscape analyzes one crossing closure under the given policy.
+func checkEscape(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit, pol escapePolicy, method string) {
+	captured := capturedVars(pkg, fd, lit)
+	if len(captured) == 0 {
+		return
+	}
+	writtenOutside := assignedOutsideDecl(pkg, fd, lit)
+	// Deterministic report order: by variable position.
+	sort.SliceStable(captured, func(i, j int) bool { return captured[i].Pos() < captured[j].Pos() })
+	for _, v := range captured {
+		wIn, rIn := usageInLit(pkg, lit, v)
+		switch {
+		case wIn:
+			mp.Reportf(lit.Pos(), "closure passed to %s writes captured variable %s; a cross-shard closure must not mutate the sending shard's state (copy the value or use Engine.Global)", method, v.Name())
+		case rIn && pol == escapeNoWriteOrMutableRead && writtenOutside[v]:
+			mp.Reportf(lit.Pos(), "closure passed to %s reads captured variable %s, which the sender still mutates; the value seen depends on scheduling — snapshot it into a local before sending", method, v.Name())
+		}
+	}
+}
+
+// capturedVars lists function-scoped variables the literal uses but does
+// not declare: objects declared inside fd (params, receiver, locals) but
+// outside lit. Package-level variables are out of scope here.
+func capturedVars(pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if !posWithin(v.Pos(), fd.Pos(), fd.End()) || posWithin(v.Pos(), lit.Pos(), lit.End()) {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+func posWithin(p, lo, hi token.Pos) bool { return p >= lo && p < hi }
+
+// usageInLit classifies how the literal uses v: written (assignment
+// target, ++/--, range assign) and/or read.
+func usageInLit(pkg *Package, lit *ast.FuncLit, v *types.Var) (written, read bool) {
+	targets := assignTargetIdents(lit.Body)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info.Uses[id] != v {
+			return true
+		}
+		if targets[id] {
+			written = true
+		} else {
+			read = true
+		}
+		return true
+	})
+	return written, read
+}
+
+// assignedOutsideDecl finds captured-candidate variables the enclosing
+// function mutates after declaration: plain `=` assignment targets,
+// ++/--, or `for ... = range`. A variable only ever bound at its `:=` or
+// parameter declaration is an immutable snapshot for capture purposes.
+func assignedOutsideDecl(pkg *Package, fd *ast.FuncDecl, lit *ast.FuncLit) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok && !v.IsField() {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == lit {
+			return false // the literal's own writes are the write check's job
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					mark(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				mark(n.Key)
+				mark(n.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// assignTargetIdents collects identifiers appearing as assignment
+// targets (any token: a `:=` inside the literal re-binding an outer name
+// actually defines a fresh object, so Uses won't match it anyway).
+func assignTargetIdents(body ast.Node) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					out[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				out[id] = true
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if id, ok := ast.Unparen(n.Key).(*ast.Ident); ok {
+					out[id] = true
+				}
+				if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+					out[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSimEngine reports whether t is sim.Engine or *sim.Engine.
+func isSimEngine(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "repro/internal/sim"
+}

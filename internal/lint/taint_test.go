@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// taintLab loads the taintlab fixture and converges a taint analysis
+// with Wire.Payload as the source field and the module's standard
+// sanitizer naming convention.
+func taintLab(t *testing.T) (*Package, *CallGraph, *Taint) {
+	t.Helper()
+	pkg := loadFixture(t, "taintlab", "repro/internal/taintlab", true)
+	g := BuildCallGraph([]*Package{pkg})
+	tt := NewTaint([]*Package{pkg}, g, &TaintSpec{
+		FieldSources: []FieldSource{{
+			PkgPath: "repro/internal/taintlab", Type: "Wire", Field: "Payload",
+			Desc: "a wire payload",
+		}},
+		Sanitizer: isSanitizerFunc,
+	})
+	return pkg, g, tt
+}
+
+// fnNamed finds a fixture function or method by its declared name.
+func fnNamed(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+	}
+	t.Fatalf("fixture function %s not found", name)
+	return nil
+}
+
+// TestTaintPropagation probes the converged return taint of each fixture
+// function: field writes taint the field across instances, interface
+// calls reach every implementor, variadic args clamp to the last
+// parameter, closures flow in the enclosing scope, sanitizer results are
+// clean, and error-typed values never carry taint.
+func TestTaintPropagation(t *testing.T) {
+	pkg, _, tt := taintLab(t)
+	cases := []struct {
+		fn      string
+		tainted bool
+	}{
+		{"fieldWrite", true},      // b1.data write taints reads of b2.data
+		{"readBack", true},        // via the interface call into realStore.Put
+		{"gather", true},          // variadic param tainted by excess arg
+		{"throughVariadic", true}, // and the call result carries it back
+		{"throughClosure", true},  // capture write flows in enclosing scope
+		{"guarded", true},         // the variable stays tainted; only the guard vouches
+		{"cleaned", false},        // sanitizer results are clean
+		{"validateWire", false},   // sanitizer bodies are not scanned
+		{"errExempt", false},      // error-typed returns are exempt
+		{"cleanConst", false},
+	}
+	for _, tc := range cases {
+		got := tt.ResultTainted(fnNamed(t, pkg, tc.fn))
+		if (got != nil) != tc.tainted {
+			t.Errorf("ResultTainted(%s) = %v, want tainted=%v", tc.fn, got, tc.tainted)
+		}
+	}
+}
+
+// TestTaintObjectProbes checks the object-level state directly: the
+// interface implementor's parameter and the written struct field are
+// tainted; an untouched function's parameter is not.
+func TestTaintObjectProbes(t *testing.T) {
+	pkg, _, tt := taintLab(t)
+
+	put := fnNamed(t, pkg, "Put")
+	v := put.Type().(*types.Signature).Params().At(0)
+	if tt.ObjectTainted(v) == nil {
+		t.Errorf("realStore.Put's parameter should be tainted through the interface call")
+	}
+
+	var dataField types.Object
+	for id, obj := range pkg.Info.Defs {
+		if fv, ok := obj.(*types.Var); ok && fv.IsField() && id.Name == "data" {
+			dataField = obj
+		}
+	}
+	if dataField == nil {
+		t.Fatal("box.data field object not found")
+	}
+	if tt.ObjectTainted(dataField) == nil {
+		t.Errorf("box.data should be tainted by the field write in fieldWrite")
+	}
+
+	clean := fnNamed(t, pkg, "verifyPayload")
+	cp := clean.Type().(*types.Signature).Params().At(0)
+	if o := tt.ObjectTainted(cp); o != nil {
+		t.Errorf("sanitizer parameter tainted (%v); sanitizer calls must not propagate into the callee", o)
+	}
+}
+
+// TestTaintSanitizedIn proves guard-style vouching: after
+// verifyPayload(p), p is sanitized within guarded even though the object
+// itself remains tainted module-wide.
+func TestTaintSanitizedIn(t *testing.T) {
+	pkg, _, tt := taintLab(t)
+	guarded := fnNamed(t, pkg, "guarded")
+
+	var pIdent *ast.Ident
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			if id, ok := ret.Results[0].(*ast.Ident); ok && id.Name == "p" {
+				pIdent = id
+			}
+			return true
+		})
+	}
+	if pIdent == nil {
+		t.Fatal("return p not found in guarded")
+	}
+	if !tt.SanitizedIn(guarded, pIdent) {
+		t.Errorf("p should be sanitized in guarded after verifyPayload(p)")
+	}
+	if tt.ObjectTainted(pkg.Info.Uses[pIdent]) == nil {
+		t.Errorf("p should still be object-tainted; the guard vouches per function, it does not launder the object")
+	}
+}
+
+// TestCallGraph checks the builder: static edges, conservative interface
+// edges, mirrored caller lists, closure ownership and reachability.
+func TestCallGraph(t *testing.T) {
+	pkg, g, _ := taintLab(t)
+
+	gather := g.NodeOf(fnNamed(t, pkg, "gather"))
+	if gather == nil || gather.Decl == nil || gather.Pkg != pkg {
+		t.Fatal("gather has no complete graph node")
+	}
+
+	tv := g.NodeOf(fnNamed(t, pkg, "throughVariadic"))
+	foundStatic := false
+	for _, e := range tv.Callees {
+		if e.Callee == gather {
+			foundStatic = true
+			if e.Dynamic {
+				t.Errorf("throughVariadic → gather should be a static edge")
+			}
+		}
+	}
+	if !foundStatic {
+		t.Errorf("missing static edge throughVariadic → gather")
+	}
+
+	ti := g.NodeOf(fnNamed(t, pkg, "throughIface"))
+	put := g.NodeOf(fnNamed(t, pkg, "Put"))
+	foundDyn := false
+	for _, e := range ti.Callees {
+		if e.Callee == put {
+			foundDyn = true
+			if !e.Dynamic {
+				t.Errorf("throughIface → realStore.Put should be marked Dynamic")
+			}
+		}
+	}
+	if !foundDyn {
+		t.Errorf("missing interface edge throughIface → realStore.Put")
+	}
+
+	mirrored := false
+	for _, e := range gather.Callers {
+		if e.Caller == tv {
+			mirrored = true
+		}
+	}
+	if !mirrored {
+		t.Errorf("gather's caller list does not mirror throughVariadic's callee edge")
+	}
+
+	tc := g.NodeOf(fnNamed(t, pkg, "throughClosure"))
+	var lit *ast.FuncLit
+	ast.Inspect(tc.Decl, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && lit == nil {
+			lit = fl
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no closure literal in throughClosure")
+	}
+	if g.EnclosingFunc(lit) != tc {
+		t.Errorf("closure in throughClosure not owned by its enclosing function")
+	}
+
+	if !g.Reachable(ti)[put] {
+		t.Errorf("realStore.Put should be reachable from throughIface")
+	}
+}
+
+// TestCallGraphDeterministic builds the graph twice and demands the same
+// node and edge order: the interprocedural analyzers iterate it, so any
+// map-order leak here becomes nondeterministic diagnostics.
+func TestCallGraphDeterministic(t *testing.T) {
+	pkg := loadFixture(t, "taintlab", "repro/internal/taintlab", true)
+	shape := func() []string {
+		var out []string
+		for _, n := range BuildCallGraph([]*Package{pkg}).Nodes() {
+			line := n.Fn.FullName() + " →"
+			for _, e := range n.Callees {
+				line += " " + e.Callee.Fn.FullName()
+			}
+			out = append(out, line)
+		}
+		return out
+	}
+	a, b := shape(), shape()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("call graph order differs between identical builds:\n%v\n%v", a, b)
+	}
+}

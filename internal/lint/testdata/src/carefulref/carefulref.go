@@ -1,0 +1,58 @@
+// Fixture for the carefulref analyzer: raw Space dereferences are always
+// flagged; an arena obtained for a possibly-remote cell is tracked through
+// variables, helper returns and parameters to the dereference; the local
+// cell's own arena stays clean.
+package carefulref
+
+import "repro/internal/kmem"
+
+type cell struct {
+	CellID int
+	Space  *kmem.Space
+}
+
+// rawSpaceReads: Space-level dereferences take an Addr naming any cell,
+// so they are flagged unconditionally outside internal/careful.
+func rawSpaceReads(c *cell, addr kmem.Addr) {
+	_, _ = c.Space.ReadWord(addr, 0) // want `Space.ReadWord dereferences an arbitrary cell's memory raw`
+	_, _ = c.Space.TagAt(addr)       // want `Space.TagAt dereferences an arbitrary cell's memory raw`
+}
+
+// remoteArena: dereferencing an arena obtained with a non-self cell ID.
+func remoteArena(c *cell, peer int, addr kmem.Addr) {
+	ar := c.Space.Arena(peer)
+	_, _ = ar.ReadWord(addr, 0) // want `Arena.ReadWord on a possibly-remote cell's arena`
+	ar.WriteWord(addr, 0, 1)    // want `Arena.WriteWord on a possibly-remote cell's arena`
+}
+
+// localArena: the local cell's own arena is not remote memory.
+func localArena(c *cell, addr kmem.Addr) {
+	ar := c.Space.Arena(c.CellID)
+	_, _ = ar.ReadWord(addr, 0)
+}
+
+// peerArena launders a remote arena through a helper return; the taint
+// follows it to the dereference at the caller.
+func (c *cell) peerArena(p int) *kmem.Arena { return c.Space.Arena(p) }
+
+func throughReturn(c *cell, addr kmem.Addr) {
+	_, _ = c.peerArena(2).TagAt(addr) // want `Arena.TagAt on a possibly-remote cell's arena`
+}
+
+// selfArena returns the cell's own arena; the helper hop does not make
+// it remote.
+func (c *cell) selfArena() *kmem.Arena { return c.Space.Arena(c.CellID) }
+
+func throughLocalHelper(c *cell, addr kmem.Addr) {
+	_, _ = c.selfArena().ReadWord(addr, 0)
+}
+
+// deref takes an arena as a parameter: a remote arena passed in from a
+// call site is still caught at the dereference here.
+func deref(ar *kmem.Arena, addr kmem.Addr) {
+	ar.Free(addr) // want `Arena.Free on a possibly-remote cell's arena`
+}
+
+func throughParam(c *cell, addr kmem.Addr) {
+	deref(c.Space.Arena(3), addr)
+}

@@ -1,0 +1,83 @@
+// Fixture for the rpctaint analyzer: data arriving through rpc.Request.Args
+// or a SIPS payload must pass a named validator before reaching a kernel
+// mutation sink. Taint survives type assertions and helper hops; a
+// validate* return or a guard-style verify* call clears it.
+package rpctaint
+
+import (
+	"errors"
+
+	"repro/internal/kmem"
+	"repro/internal/machine"
+	"repro/internal/rpc"
+)
+
+type writeArgs struct {
+	Addr kmem.Addr
+	Val  uint64
+}
+
+type server struct {
+	arena *kmem.Arena
+}
+
+// unvetted: wire args straight into an arena write.
+func (s *server) unvetted(req *rpc.Request) {
+	args := req.Args.(*writeArgs)
+	s.arena.WriteWord(args.Addr, 0, args.Val) // want `Arena.WriteWord argument args.Addr carries rpc request args`
+}
+
+// validateWrite is a designated sanitizer: its result enters the caller
+// clean.
+func validateWrite(req *rpc.Request) (*writeArgs, error) {
+	args, ok := req.Args.(*writeArgs)
+	if !ok {
+		return nil, errors.New("bad args")
+	}
+	return args, nil
+}
+
+// vetted: the validator return is trusted.
+func (s *server) vetted(req *rpc.Request) error {
+	args, err := validateWrite(req)
+	if err != nil {
+		return err
+	}
+	s.arena.WriteWord(args.Addr, 0, args.Val)
+	return nil
+}
+
+func verifyArgs(a *writeArgs) error {
+	if a.Val == 0 {
+		return errors.New("zero value")
+	}
+	return nil
+}
+
+// guarded: calling a verify* function on the variable vouches for it in
+// this function even though the variable itself stays tainted elsewhere.
+func (s *server) guarded(req *rpc.Request) error {
+	args := req.Args.(*writeArgs)
+	if err := verifyArgs(args); err != nil {
+		return err
+	}
+	s.arena.WriteWord(args.Addr, 0, args.Val)
+	return nil
+}
+
+// store is one hop removed from the wire: its parameters are tainted by
+// the indirect call site below and caught at the sink here.
+func (s *server) store(a kmem.Addr, v uint64) {
+	s.arena.WriteWord(a, 0, v) // want `Arena.WriteWord argument a carries rpc request args`
+}
+
+func (s *server) indirect(req *rpc.Request) {
+	args := req.Args.(*writeArgs)
+	s.store(args.Addr, args.Val)
+}
+
+// sips: the second wire source — raw SIPS payloads.
+func (s *server) sips(msg *machine.SIPSMsg, addr kmem.Addr) {
+	v := msg.Payload.(uint64)
+	s.arena.WriteWord(addr, 0, v) // want `Arena.WriteWord argument v carries a SIPS message payload`
+}

@@ -1,0 +1,69 @@
+// Fixture for the shardescape analyzer: closures crossing shards via
+// Engine.Send must carry values, not references into the sender's mutable
+// state; SendGlobal closures may read but not write; Global closures are
+// the sanctioned synchronous handoff. A helper that forwards its func()
+// parameter into a Send position inherits Send's policy at its call sites.
+package shardescape
+
+import "repro/internal/sim"
+
+// sends: the asynchronous crossing.
+func sends(src, dst *sim.Engine) int {
+	total := 0
+	src.Send(dst, 1, func() { // want `closure passed to Engine.Send writes captured variable total`
+		total++
+	})
+
+	cursor := 0
+	src.Send(dst, 1, func() { // want `closure passed to Engine.Send reads captured variable cursor, which the sender still mutates`
+		_ = cursor
+	})
+	cursor = 7
+
+	snapshot := cursor // an immutable copy is the sanctioned payload
+	src.Send(dst, 1, func() {
+		_ = snapshot
+	})
+	return total
+}
+
+// sendGlobal: shards are quiescent in the global phase, so reads are
+// safe — but writes to captured shard-local state are still flagged.
+func sendGlobal(src *sim.Engine) {
+	count := 0
+	src.SendGlobal(func() { // want `closure passed to Engine.SendGlobal writes captured variable count`
+		count = 1
+	})
+
+	limit := 8
+	src.SendGlobal(func() {
+		_ = limit
+	})
+	limit = 9 // mutated-read is fine for SendGlobal: the sender is parked
+	_ = count
+	_ = limit
+}
+
+// global: the synchronous handoff — writing results back through captured
+// variables is the sanctioned pattern.
+func global(e *sim.Engine, t *sim.Task) uint64 {
+	var out uint64
+	e.Global(t, func() {
+		out = 42
+	})
+	return out
+}
+
+// relay forwards its parameter into a Send position, so closure literals
+// at its call sites live under Send's policy.
+func relay(src, dst *sim.Engine, fn func()) {
+	src.Send(dst, 1, fn)
+}
+
+func viaRelay(src, dst *sim.Engine) {
+	hits := 0
+	relay(src, dst, func() { // want `closure passed to relay writes captured variable hits`
+		hits++
+	})
+	_ = hits
+}

@@ -1,0 +1,94 @@
+// Fixture for the taint-engine and call-graph unit tests. The test
+// designates Wire.Payload as the source field and validate*/verify* as
+// sanitizers, then probes how taint moves through field writes, interface
+// calls, variadic arguments and closure captures.
+package taintlab
+
+type Wire struct {
+	Payload any
+}
+
+// --- field writes: taint is per field, across instances ---
+
+type box struct {
+	data any
+}
+
+func fieldWrite(w *Wire, b1, b2 *box) any {
+	b1.data = w.Payload
+	return b2.data // the FIELD is tainted, so another instance's read is too
+}
+
+// --- interface calls: conservative resolution to every implementor ---
+
+type store interface {
+	Put(v any)
+}
+
+type realStore struct {
+	last any
+}
+
+func (s *realStore) Put(v any) { s.last = v }
+
+func throughIface(w *Wire, s store) {
+	s.Put(w.Payload)
+}
+
+func readBack(s *realStore) any { return s.last }
+
+// --- variadic arguments: excess args clamp to the variadic parameter ---
+
+func gather(vs ...any) any {
+	if len(vs) > 0 {
+		return vs[0]
+	}
+	return nil
+}
+
+func throughVariadic(w *Wire) any {
+	return gather(1, 2, w.Payload)
+}
+
+// --- closure capture: literals flow in the enclosing function's scope ---
+
+func throughClosure(w *Wire) any {
+	var grab any
+	fn := func() { grab = w.Payload }
+	fn()
+	return grab
+}
+
+// --- sanitizers: results are clean; guard calls vouch for the variable ---
+
+func validateWire(w *Wire) any { return w.Payload }
+
+func cleaned(w *Wire) any {
+	return validateWire(w)
+}
+
+func verifyPayload(v any) error { return nil }
+
+func guarded(w *Wire) any {
+	p := w.Payload
+	if err := verifyPayload(p); err != nil {
+		return nil
+	}
+	return p
+}
+
+// --- error exemption: error-typed values never carry taint ---
+
+type wireErr struct {
+	v any
+}
+
+func (e *wireErr) Error() string { return "wire" }
+
+func errExempt(w *Wire) error {
+	return &wireErr{v: w.Payload}
+}
+
+// --- control: nothing tainted flows here ---
+
+func cleanConst() any { return 42 }

@@ -264,6 +264,7 @@ func (mon *Monitor) Hint(suspect int, reason string) {
 		for _, c := range peers {
 			c := c
 			mon.eng().Go(fmt.Sprintf("cell%d.alert%d", mon.CellID, c), func(t *sim.Task) {
+				//hive:lint-ignore errdrop alert cast is best-effort: a peer that cannot hear the alert is itself suspect and will be caught by its own consistency round
 				mon.EP.Call(t, mon.proc(), c, ProcAlert, msg,
 					rpc.CallOpts{DataBytes: 64, NoHint: true})
 				join.Await(t)

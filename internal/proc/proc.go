@@ -224,12 +224,23 @@ func (pt *Table) Fork(t *sim.Task, p *Process, targetCell int, name string, body
 	if err != nil {
 		return 0, err
 	}
+	pid, err := validateSpawnReply(res)
+	if err != nil {
+		return 0, err
+	}
+	p.Deps[targetCell] = true
+	pt.Metrics.Counter("proc.remote_forks").Inc()
+	return pid, nil
+}
+
+// validateSpawnReply vets a remote fork's reply. The child PID is an
+// opaque token the child's cell allocated, so shape is all the parent
+// can check; the PID is only ever used as a key back to that cell.
+func validateSpawnReply(res any) (int, error) {
 	rep, ok := res.(*spawnReply)
 	if !ok {
 		return 0, ErrBadArgs
 	}
-	p.Deps[targetCell] = true
-	pt.Metrics.Counter("proc.remote_forks").Inc()
 	return rep.PID, nil
 }
 
@@ -300,6 +311,7 @@ func (pt *Table) Signal(t *sim.Task, group int) {
 		if c == pt.CellID {
 			continue
 		}
+		//hive:lint-ignore errdrop signal fan-out is best-effort by design: a dead peer's processes die with it, so there is nothing left to signal
 		pt.EP.Call(t, pt.Sched.Procs[0], c, ProcSignal,
 			&signalArgs{Group: group}, rpc.CallOpts{DataBytes: 16, NoHint: true})
 	}
@@ -400,17 +412,28 @@ type signalArgs struct {
 	Group int
 }
 
+// validateSpawnArgs vets a spawn request from another cell before the
+// leaf address it names enters this cell's process table: the request
+// must be well-formed and the leaf must be local (every process's leaf
+// is local to it, §5.3). Anything a corrupt peer could forge is checked
+// here, at the trust boundary.
+func (pt *Table) validateSpawnArgs(raw any) (*spawnArgs, error) {
+	args, ok := raw.(*spawnArgs)
+	if !ok || args.Body == nil || args.Name == "" {
+		return nil, ErrBadArgs
+	}
+	if args.Leaf.Cell() != pt.CellID {
+		return nil, fmt.Errorf("%w: leaf on cell %d", ErrBadArgs, args.Leaf.Cell())
+	}
+	return args, nil
+}
+
 func (pt *Table) registerServices() {
 	pt.EP.Register(ProcSpawn, "proc.spawn", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*spawnArgs)
-			if !ok || args.Body == nil || args.Name == "" {
-				return nil, ErrBadArgs
-			}
-			// Sanity: the leaf must be local (every process's leaf
-			// is local to it, §5.3).
-			if args.Leaf.Cell() != pt.CellID {
-				return nil, fmt.Errorf("%w: leaf on cell %d", ErrBadArgs, args.Leaf.Cell())
+			args, err := pt.validateSpawnArgs(req.Args)
+			if err != nil {
+				return nil, err
 			}
 			pt.Sched.System(t, ForkCost/2)
 			p := pt.spawn(args.Name, args.Group, args.Parent, args.Leaf, args.Body)

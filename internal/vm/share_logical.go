@@ -161,6 +161,7 @@ func (v *VM) Release(t *sim.Task, pf *Pfdat) {
 	pf.ImportedFrom = -1
 	pf.ImpWritable = false
 	v.Metrics.Counter("vm.releases").Inc()
+	//hive:lint-ignore errdrop release notification is best-effort: if the data home is dead its export table dies with it, and recovery rebuilds the survivors' tables
 	v.EP.Call(t, v.anyProc(), home, ProcRelease,
 		&exportArgs{LP: pf.LP, Client: v.CellID}, rpc.CallOpts{DataBytes: 48, NoHint: true})
 }
@@ -176,19 +177,41 @@ func (v *VM) ImportRemote(t *sim.Task, lp LogicalPage, writable bool) (*Pfdat, e
 	if err != nil {
 		return nil, err
 	}
+	rep, err := v.validateExportReply(res)
+	if err != nil {
+		return nil, err
+	}
+	return v.Import(t, rep.Frame, lp.Obj.Home, lp, writable), nil
+}
+
+// validateExportReply sanity-checks an export reply as the
+// careful-message discipline requires, before the frame number a peer
+// chose enters our page cache. The frame must exist; it need not be
+// owned by the data home, since a data home may legally serve a page
+// cached in a borrowed frame (§5.5: a frame can be simultaneously
+// borrowed and exported).
+func (v *VM) validateExportReply(res any) (*exportReply, error) {
 	rep, ok := res.(*exportReply)
 	if !ok {
 		return nil, fmt.Errorf("%w: bad export reply", ErrBadPage)
 	}
-	// Sanity-check the reply as the careful-message discipline requires.
-	// The frame must exist; it need not be owned by the data home, since
-	// a data home may legally serve a page cached in a borrowed frame
-	// (§5.5: a frame can be simultaneously borrowed and exported).
 	if rep.Frame < 0 || int(rep.Frame) >= v.M.NumPages() {
 		return nil, fmt.Errorf("%w: export reply frame %d out of range",
 			ErrBadPage, rep.Frame)
 	}
-	return v.Import(t, rep.Frame, lp.Obj.Home, lp, writable), nil
+	return rep, nil
+}
+
+// validateExportArgs vets an export/page-fault request from another
+// cell: we must be the data home for the page it names, and the client
+// must be the cell that actually sent the request — a corrupt cell must
+// not be able to charge export references to an innocent third cell.
+func (v *VM) validateExportArgs(req *rpc.Request) (*exportArgs, error) {
+	args, ok := req.Args.(*exportArgs)
+	if !ok || args.LP.Obj.Home != v.CellID || args.Client != req.From {
+		return nil, ErrBadPage
+	}
+	return args, nil
 }
 
 // registerServices installs the VM's RPC services on the cell's endpoint.
@@ -201,9 +224,9 @@ func (v *VM) registerServices() {
 	// firewall change must cross to a memory home.
 	v.EP.Register(ProcExport, "vm.export",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*exportArgs)
-			if !ok || args.LP.Obj.Home != v.CellID || args.Client != req.From {
-				return nil, 0, true, ErrBadPage
+			args, err := v.validateExportArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if v.holdFaults {
 				return nil, 0, true, ErrRecovering
@@ -226,18 +249,18 @@ func (v *VM) registerServices() {
 			return &exportReply{Frame: pf.Frame}, cost, true, nil
 		},
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*exportArgs)
-			if !ok || args.LP.Obj.Home != v.CellID {
-				return nil, ErrBadPage
+			args, err := v.validateExportArgs(req)
+			if err != nil {
+				return nil, err
 			}
 			return v.serveExportQueued(t, args)
 		})
 
 	v.EP.Register(ProcRelease, "vm.release",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*exportArgs)
-			if !ok {
-				return nil, 0, true, ErrBadPage
+			args, err := v.validateExportArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if v.Lock.Locked() {
 				return nil, 0, false, nil
@@ -249,9 +272,9 @@ func (v *VM) registerServices() {
 			return nil, MiscVMDataHome, true, nil
 		},
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*exportArgs)
-			if !ok {
-				return nil, ErrBadPage
+			args, err := v.validateExportArgs(req)
+			if err != nil {
+				return nil, err
 			}
 			v.Lock.Lock(t)
 			v.dropExport(t, args.LP, args.Client)
@@ -261,23 +284,31 @@ func (v *VM) registerServices() {
 
 	v.EP.Register(ProcFirewall, "vm.firewall", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*firewallArgs)
-			if !ok {
-				return nil, ErrBadPage
-			}
-			if !v.localFrame(args.Frame) {
-				return nil, fmt.Errorf("%w: frame %d not local", ErrBadPage, args.Frame)
-			}
-			pf := v.frames[args.Frame]
-			if pf == nil || pf.LoanedTo != req.From {
-				// Only the borrower may direct the firewall of a
-				// loaned frame — a corrupt cell must not open
-				// other cells' pages.
-				return nil, fmt.Errorf("%w: frame %d not loaned to cell %d",
-					ErrBadPage, args.Frame, req.From)
+			args, err := v.validateFirewallArgs(req)
+			if err != nil {
+				return nil, err
 			}
 			return nil, v.M.SetFirewall(t, v.proc(args.Frame), args.Frame, args.Bits)
 		})
+}
+
+// validateFirewallArgs vets a firewall-change request: the frame must be
+// this memory home's, and only the cell the frame is loaned to may
+// direct its firewall — a corrupt cell must not open other cells' pages.
+func (v *VM) validateFirewallArgs(req *rpc.Request) (*firewallArgs, error) {
+	args, ok := req.Args.(*firewallArgs)
+	if !ok {
+		return nil, ErrBadPage
+	}
+	if !v.localFrame(args.Frame) {
+		return nil, fmt.Errorf("%w: frame %d not local", ErrBadPage, args.Frame)
+	}
+	pf := v.frames[args.Frame]
+	if pf == nil || pf.LoanedTo != req.From {
+		return nil, fmt.Errorf("%w: frame %d not loaned to cell %d",
+			ErrBadPage, args.Frame, req.From)
+	}
+	return args, nil
 }
 
 // serveExportQueued is the blocking export path: it may perform file I/O
@@ -324,6 +355,7 @@ func (v *VM) dropExport(t *sim.Task, lp LogicalPage, client int) {
 		delete(pf.exports, client)
 		if pf.writable[client] {
 			delete(pf.writable, client)
+			//hive:lint-ignore errdrop revocation failure means the frame's memory home is unreachable; recovery rewrites every surviving firewall wholesale (§4.2)
 			v.revokeFirewall(t, pf, client)
 		}
 	}

@@ -145,16 +145,9 @@ func (v *VM) borrowFrom(t *sim.Task, home int) (machine.PageNum, error) {
 	if err != nil {
 		return machine.NoPage, err
 	}
-	rep, ok := res.(*borrowReply)
-	if !ok || len(rep.Frames) == 0 {
-		return machine.NoPage, ErrNoMemory
-	}
-	// Sanity-check every frame: it must be owned by the claimed home.
-	for _, f := range rep.Frames {
-		if f < 0 || int(f) >= v.M.NumPages() || v.CellOfNode[v.M.HomeNode(f)] != home {
-			return machine.NoPage, fmt.Errorf("%w: borrowed frame %d not owned by cell %d",
-				ErrBadPage, f, home)
-		}
+	rep, err := v.validateBorrowReply(res, home)
+	if err != nil {
+		return machine.NoPage, err
 	}
 	for _, f := range rep.Frames {
 		pf := newPfdat(f)
@@ -166,6 +159,23 @@ func (v *VM) borrowFrom(t *sim.Task, home int) (machine.PageNum, error) {
 	v.Metrics.Counter("vm.borrows").Add(int64(len(rep.Frames)))
 	f, _ := v.popLocalFree(false)
 	return f, nil
+}
+
+// validateBorrowReply sanity-checks a borrow reply: every frame the
+// memory home handed out must exist and actually be owned by that home
+// — a corrupt cell must not loan out an innocent third cell's memory.
+func (v *VM) validateBorrowReply(res any, home int) (*borrowReply, error) {
+	rep, ok := res.(*borrowReply)
+	if !ok || len(rep.Frames) == 0 {
+		return nil, ErrNoMemory
+	}
+	for _, f := range rep.Frames {
+		if f < 0 || int(f) >= v.M.NumPages() || v.CellOfNode[v.M.HomeNode(f)] != home {
+			return nil, fmt.Errorf("%w: borrowed frame %d not owned by cell %d",
+				ErrBadPage, f, home)
+		}
+	}
+	return rep, nil
 }
 
 // ReturnFrames sends borrowed frames back to their memory homes
@@ -188,6 +198,7 @@ func (v *VM) ReturnFrames(t *sim.Task, frames []machine.PageNum) {
 	for _, home := range homes {
 		fs := byHome[home]
 		v.Metrics.Counter("vm.returns").Add(int64(len(fs)))
+		//hive:lint-ignore errdrop frame return is best-effort: a dead memory home reclaims every loan during its recovery, so the return is moot
 		v.EP.Call(t, v.anyProc(), home, ProcReturn,
 			&returnArgs{Client: v.CellID, Frames: fs},
 			rpc.CallOpts{DataBytes: 192, NoHint: true})
@@ -235,15 +246,38 @@ func (v *VM) LoanedFrames() int {
 	return n
 }
 
+// validateBorrowArgs vets a frame-loan request: the borrower named in
+// the request must be the cell that actually sent it (a corrupt cell
+// must not open another cell's firewall by impersonation, §5.4) and the
+// batch size must be sane.
+func validateBorrowArgs(req *rpc.Request) (*borrowArgs, error) {
+	args, ok := req.Args.(*borrowArgs)
+	if !ok || args.Client != req.From || args.Count <= 0 || args.Count > 1024 {
+		return nil, ErrBadPage
+	}
+	return args, nil
+}
+
+// validateReturnArgs vets a frame-return: only the borrower of record
+// may hand frames back (per-frame ownership is re-checked against the
+// loan table in acceptReturns).
+func validateReturnArgs(req *rpc.Request) (*returnArgs, error) {
+	args, ok := req.Args.(*returnArgs)
+	if !ok || args.Client != req.From || len(args.Frames) > 1024 {
+		return nil, ErrBadPage
+	}
+	return args, nil
+}
+
 // registerPhysicalServices is called from registerServices.
 func (v *VM) registerPhysicalServices() {
 	// Loan service: the memory home moves frames to the reserved list
 	// and ignores them until returned or the borrower fails (§5.4).
 	v.EP.Register(ProcBorrow, "vm.borrow",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*borrowArgs)
-			if !ok || args.Client != req.From || args.Count <= 0 || args.Count > 1024 {
-				return nil, 0, true, ErrBadPage
+			args, err := validateBorrowArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if v.Lock.Locked() {
 				return nil, 0, false, nil
@@ -255,9 +289,9 @@ func (v *VM) registerPhysicalServices() {
 			return rep, BorrowCost, true, nil
 		},
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*borrowArgs)
-			if !ok || args.Count <= 0 || args.Count > 1024 {
-				return nil, ErrBadPage
+			args, err := validateBorrowArgs(req)
+			if err != nil {
+				return nil, err
 			}
 			v.Lock.Lock(t)
 			rep := v.loanFrames(args.Client, args.Count)
@@ -270,9 +304,9 @@ func (v *VM) registerPhysicalServices() {
 
 	v.EP.Register(ProcReturn, "vm.return",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
-			args, ok := req.Args.(*returnArgs)
-			if !ok || args.Client != req.From {
-				return nil, 0, true, ErrBadPage
+			args, err := validateReturnArgs(req)
+			if err != nil {
+				return nil, 0, true, err
 			}
 			if v.Lock.Locked() {
 				return nil, 0, false, nil
@@ -281,9 +315,9 @@ func (v *VM) registerPhysicalServices() {
 			return nil, MiscVMDataHome, true, nil
 		},
 		func(t *sim.Task, req *rpc.Request) (any, error) {
-			args, ok := req.Args.(*returnArgs)
-			if !ok {
-				return nil, ErrBadPage
+			args, err := validateReturnArgs(req)
+			if err != nil {
+				return nil, err
 			}
 			v.Lock.Lock(t)
 			v.acceptReturns(args.Client, args.Frames)

@@ -46,8 +46,12 @@ func RunOcean(h *core.Hive, cfg OceanConfig, maxTime sim.Time) *Result {
 	setupDone := false
 	h.Cells[0].Procs.Spawn("ocean.setup", 200, func(p *proc.Process, t *sim.Task) {
 		hd, err := h.Cells[0].FS.Create(t, "/data/ocean.in")
-		if err == nil {
-			h.Cells[0].FS.Write(t, hd, cfg.InitPages, cfg.Seed)
+		if err != nil {
+			res.AddError("setup create: %v", err)
+		} else {
+			if werr := h.Cells[0].FS.Write(t, hd, cfg.InitPages, cfg.Seed); werr != nil {
+				res.AddError("setup write: %v", werr)
+			}
 			h.Cells[0].FS.Close(t, hd)
 		}
 		setupDone = true
@@ -93,7 +97,12 @@ func RunOcean(h *core.Hive, cfg OceanConfig, maxTime sim.Time) *Result {
 				if idx == 0 {
 					hd, err := cell.FS.Open(tt, "/data/ocean.in")
 					if err == nil {
-						cell.FS.Read(tt, hd, cfg.InitPages)
+						// The warm-up read is advisory: if the input home
+						// died mid-campaign the grid simply starts cold, so
+						// a failure is counted rather than fatal.
+						if _, rerr := cell.FS.Read(tt, hd, cfg.InitPages); rerr != nil {
+							cell.Metrics.Counter("workload.ocean_input_read_errors").Inc()
+						}
 						cell.FS.Close(tt, hd)
 					}
 				}

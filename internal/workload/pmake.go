@@ -73,23 +73,32 @@ func RunPmake(h *core.Hive, cfg PmakeConfig, maxTime sim.Time) *Result {
 	setupDone := false
 	h.Cells[srcHome].Procs.Spawn("pmake.setup", 100, func(p *proc.Process, t *sim.Task) {
 		fsys := h.Cells[srcHome].FS
-		for i := 0; i < cfg.Files; i++ {
-			hd, err := fsys.Create(t, fmt.Sprintf("/usr/src/%s%d.c", cfg.Tag, i))
+		mk := func(path string, pages int) bool {
+			hd, err := fsys.Create(t, path)
 			if err != nil {
-				res.AddError("setup create: %v", err)
+				res.AddError("setup create %s: %v", path, err)
+				return false
+			}
+			if err := fsys.Write(t, hd, pages, cfg.Seed); err != nil {
+				res.AddError("setup write %s: %v", path, err)
+				return false
+			}
+			fsys.Close(t, hd)
+			return true
+		}
+		for i := 0; i < cfg.Files; i++ {
+			if !mk(fmt.Sprintf("/usr/src/%s%d.c", cfg.Tag, i), cfg.SrcPages) {
 				return
 			}
-			fsys.Write(t, hd, cfg.SrcPages, cfg.Seed)
-			fsys.Close(t, hd)
 		}
 		for j := 0; j < cfg.HdrOpens; j++ {
-			hd, _ := fsys.Create(t, fmt.Sprintf("/usr/include/h%d.h", j))
-			fsys.Write(t, hd, 2, cfg.Seed)
-			fsys.Close(t, hd)
+			if !mk(fmt.Sprintf("/usr/include/h%d.h", j), 2) {
+				return
+			}
 		}
-		cc, _ := fsys.Create(t, "/usr/bin/cc")
-		fsys.Write(t, cc, cfg.SharedPages, cfg.Seed)
-		fsys.Close(t, cc)
+		if !mk("/usr/bin/cc", cfg.SharedPages) {
+			return
+		}
 		setupDone = true
 	})
 	if !h.RunUntil(func() bool { return setupDone }, h.Now()+20*sim.Second) {
