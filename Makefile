@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke shard-identity race bench bench-engine bench-report bench-gate clean
+.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke mort-check shard-identity race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -46,6 +46,7 @@ check: build
 	$(GO) test ./...
 	$(GO) test -race ./internal/parallel/... ./internal/sim/...
 	$(MAKE) trace-check
+	$(MAKE) mort-check
 
 # trace-check is the observability gate: the Chrome trace export and the
 # histogram-backed campaign rows must be byte-identical across -j1/-j4
@@ -61,6 +62,14 @@ trace-check:
 # exiting nonzero on any containment failure.
 drill-smoke:
 	$(GO) run ./cmd/faultdrill -trials 1
+
+# mort-check is the forensic cross-check gate: hivemort re-derives the
+# containment verdict of every default-campaign trial purely from the
+# structured trace (internal/forensic) and exits nonzero if any verdict
+# disagrees with the fault-injection harness's live-state verdict.
+mort-check:
+	$(GO) run ./cmd/hivemort
+	@echo "mort-check: trace-derived verdicts agree with the harness"
 
 # shard-identity is the sharded-engine determinism gate: the quick fault
 # campaign (JSON, wall-clock/config fields stripped), the seeded sweep

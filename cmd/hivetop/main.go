@@ -9,6 +9,8 @@
 //	hivetop                        # pmake on 4 cells, snapshot every 1s
 //	hivetop -interval 500ms -fail 2 -failat 3s
 //	hivetop -fail 2 -hist 3 -tail 20 -trace top.json
+//	hivetop -fail 2 -forensic      # propagation graph + virtual-time profile
+//	hivetop -shards auto -trace top.json  # sharded engine, with counter tracks
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/forensic"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -27,19 +30,29 @@ import (
 
 func main() {
 	var (
-		cells     = flag.Int("cells", 4, "number of cells")
-		interval  = flag.Duration("interval", time.Second, "virtual snapshot period")
-		fail      = flag.Int("fail", -1, "inject a fail-stop fault into this cell")
-		failAt    = flag.Duration("failat", 3*time.Second, "virtual fault time")
-		seed      = flag.Int64("seed", 1995, "simulation seed")
-		histRows  = flag.Int("hist", 3, "bucket rows per latency histogram (0 = none)")
-		tailN     = flag.Int("tail", 12, "forensic trace tail length (0 = none)")
-		tracePath = flag.String("trace", "", "also write the Chrome trace-event JSON file")
+		cells      = flag.Int("cells", 4, "number of cells")
+		interval   = flag.Duration("interval", time.Second, "virtual snapshot period")
+		fail       = flag.Int("fail", -1, "inject a fail-stop fault into this cell")
+		failAt     = flag.Duration("failat", 3*time.Second, "virtual fault time")
+		seed       = flag.Int64("seed", 1995, "simulation seed")
+		histRows   = flag.Int("hist", 3, "bucket rows per latency histogram (0 = none)")
+		tailN      = flag.Int("tail", 12, "forensic trace tail length (0 = none)")
+		tracePath  = flag.String("trace", "", "also write the Chrome trace-event JSON file")
+		forensicOn = flag.Bool("forensic", false, "print the fault-propagation graph and virtual-time profile (implied by -fail)")
+		topN       = flag.Int("top", 3, "top span names per subsystem in the -forensic profile")
+		shards     = flag.String("shards", "", "engine mode: 0 = classic (default), N = sharded with N workers, auto = one worker per cell")
 	)
 	flag.Parse()
 
+	nshards, err := workload.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hivetop:", err)
+		os.Exit(2)
+	}
+	workload.SetDefaultShards(nshards)
+
 	h := workload.BootHiveWith(*cells, *seed, func(cfg *core.Config) {
-		if *tracePath != "" {
+		if *tracePath != "" || *forensicOn || *fail >= 0 {
 			cfg.TraceCap = 1 << 16
 		}
 	})
@@ -65,6 +78,20 @@ func main() {
 	if *fail >= 0 {
 		printRecoveryTimeline(h)
 	}
+	if dropped := h.Trace.TotalDropped(); dropped > 0 {
+		fmt.Printf("\nWARNING: %d trace events dropped by ring truncation:\n", dropped)
+		for _, d := range h.Trace.Dropped() {
+			if d.Total() > 0 {
+				fmt.Printf("  cell %d: %d control + %d data\n", d.Cell, d.Control, d.Data)
+			}
+		}
+		fmt.Println("  (forensic walks and trace tails may be incomplete; raise TraceCap)")
+	}
+	if *forensicOn || *fail >= 0 {
+		fmt.Println("\nforensics:")
+		rep := forensic.Analyze(h.Trace.Merged(), h.Trace.Dropped())
+		fmt.Print(rep.Format(*topN))
+	}
 	if *histRows > 0 {
 		printHistograms(h, *histRows)
 	}
@@ -80,7 +107,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hivetop: %v\n", err)
 			os.Exit(1)
 		}
-		if err := h.Trace.ExportChrome(f); err != nil {
+		var tracks []trace.CounterTrack
+		if h.Clu != nil {
+			tracks = trace.EngineCounterTracks(h.Clu.Stats())
+		}
+		if err := h.Trace.ExportChromeWith(f, tracks); err != nil {
 			fmt.Fprintf(os.Stderr, "hivetop: export trace: %v\n", err)
 			os.Exit(1)
 		}

@@ -26,6 +26,7 @@ import (
 	"repro/internal/kmem"
 	"repro/internal/machine"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Component costs (ns), calibrated so a single-word careful read totals
@@ -58,6 +59,10 @@ type Reader struct {
 	M        *machine.Machine
 	Space    *kmem.Space
 	HintSink func(suspectCell int, reason string)
+	// Tracer, if set, records a CarefulAbort event whenever a window
+	// fails — the forensic record that bad remote data was discarded
+	// at the protocol boundary instead of trusted.
+	Tracer *trace.Tracer
 	// CellEngine maps a cell id to the shard its nodes are bound to in a
 	// sharded run (wired by the boot layer); nil means every cell shares
 	// one engine and remote reads resolve directly. When the window's
@@ -88,8 +93,12 @@ func (r *Reader) On(t *sim.Task, proc *machine.Processor, expectCell int) *Ctx {
 // clean read). If the window failed, the hint sink is notified.
 func (c *Ctx) Off() error {
 	c.proc.Use(c.t, OffCost)
-	if c.err != nil && c.r.HintSink != nil {
-		c.r.HintSink(c.expectCell, c.err.Error())
+	if c.err != nil {
+		c.r.Tracer.Emit(c.r.M.NodeEngine(c.proc.Node.ID).Now(), trace.CarefulAbort,
+			int64(c.expectCell), 0, c.err.Error())
+		if c.r.HintSink != nil {
+			c.r.HintSink(c.expectCell, c.err.Error())
+		}
 	}
 	return c.err
 }

@@ -296,7 +296,7 @@ func (h *Hive) bootCell(id int) *Cell {
 	c.VM.Tracer = c.Tracer
 	c.FS = fs.New(h.M, c.EP, c.VM, id, h.Cfg.Mounts, h.M.Nodes[nodes[0]].Disk)
 	c.Sched = sched.New(id, procs)
-	c.Reader = &careful.Reader{M: h.M, Space: h.Space, CellEngine: h.cellEngine}
+	c.Reader = &careful.Reader{M: h.M, Space: h.Space, CellEngine: h.cellEngine, Tracer: c.Tracer}
 	c.COW = cow.New(h.M, c.EP, c.VM, h.Space, c.Reader, id)
 	c.Procs = proc.NewTable(id, h.Cfg.Cells, c.EP, c.Sched, c.FS, c.COW, c.VM)
 	c.Mon = membership.NewMonitor(h.M, c.EP, h.Coord, id, nodes)
@@ -403,8 +403,12 @@ func (c *Cell) ActuallyFailed() bool {
 func (c *Cell) Failed() bool { return c.failed }
 
 // MarkCorrupt flags the cell as software-corrupted; the oracle confirms
-// alerts about it (the injected-bug ground truth of §7.4).
-func (c *Cell) MarkCorrupt() { c.corrupt = true }
+// alerts about it (the injected-bug ground truth of §7.4). The injection
+// marker makes the fault locatable from the trace alone (forensic audit).
+func (c *Cell) MarkCorrupt() {
+	c.corrupt = true
+	c.Tracer.Emit(c.Hive.Now(), trace.Inject, int64(c.ID), 0, "corrupt")
+}
 
 // FailHardware injects a fail-stop hardware fault: every node of the cell
 // halts and its memory becomes inaccessible (§7.4's hardware fault
@@ -413,6 +417,7 @@ func (c *Cell) MarkCorrupt() { c.corrupt = true }
 // and harnesses run there), whose tasks execute with every cell quiescent.
 func (c *Cell) FailHardware() {
 	c.failed = true
+	c.Tracer.Emit(c.Hive.Eng.Now(), trace.Inject, int64(c.ID), 0, "hw-fail")
 	c.Tracer.Emit(c.Hive.Eng.Now(), trace.Panic, 0, 0, "fail-stop hardware fault injected")
 	for _, n := range c.Nodes {
 		c.Hive.M.Nodes[n].FailStop()
@@ -470,6 +475,9 @@ func (c *Cell) ForceStop(reason string) {
 		return
 	}
 	c.failed = true
+	// Death marker: without it a cell the survivors stopped (e.g. one
+	// corrupted but never self-panicking) would die invisibly in the trace.
+	c.Tracer.Emit(c.Hive.Now(), trace.Panic, 0, 0, "stopped by survivor consensus: "+reason)
 	for _, n := range c.Nodes {
 		c.Hive.M.Nodes[n].EngageCutoff()
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -110,6 +111,16 @@ type TrialResult struct {
 	TraceHash    uint64 // FNV-1a over the engine's dispatch trace (TrialOpts.TraceHash)
 	TraceJSON    []byte // Chrome trace-event export (TrialOpts.KeepTrace)
 	Notes        string
+
+	// Forensic capture (TrialOpts.KeepEvents): the merged typed event
+	// stream and per-cell ring-truncation counters the trace-based
+	// auditor re-derives its verdict from, plus the hive size.
+	Cells   int
+	Events  []trace.Event
+	Dropped []trace.DropCount
+	// EngineStats holds the sharded-engine instrumentation snapshot
+	// (sharded trials with KeepEvents or KeepTrace; nil otherwise).
+	EngineStats *sim.ClusterStats
 }
 
 // OK reports full containment per the paper's criterion, plus the
@@ -138,6 +149,10 @@ type TrialOpts struct {
 	// KeepTrace exports the hive's structured trace as Chrome trace-event
 	// JSON into TrialResult.TraceJSON when the trial ends.
 	KeepTrace bool
+	// KeepEvents retains the merged typed event stream and the per-cell
+	// ring-truncation counters in TrialResult.Events/Dropped — the input
+	// of the trace-based containment auditor (internal/forensic).
+	KeepEvents bool
 	// TraceCap overrides the per-cell trace ring capacity (0 = default).
 	TraceCap int
 	// Seed overrides the seed derived from (scenario, trial). The sweep
@@ -200,7 +215,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			}
 		}
 	})
-	res := &TrialResult{Scenario: s, Seed: seed, TargetCell: 1 + trial%(cells-2)}
+	res := &TrialResult{Scenario: s, Seed: seed, Cells: cells, TargetCell: 1 + trial%(cells-2)}
 	if s == CoordinatorDeath {
 		// Cell 0 is the coordinator casualty, so the first fault targets
 		// a fixed non-coordinator, non-file-server cell.
@@ -239,9 +254,28 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	if opts.KeepTrace {
 		defer func() {
 			var buf bytes.Buffer
-			if err := h.Trace.ExportChrome(&buf); err == nil {
+			var tracks []trace.CounterTrack
+			if res.EngineStats != nil {
+				tracks = trace.EngineCounterTracks(*res.EngineStats)
+			}
+			if err := h.Trace.ExportChromeWith(&buf, tracks); err == nil {
 				res.TraceJSON = buf.Bytes()
 			}
+		}()
+	}
+	if opts.KeepEvents {
+		defer func() {
+			res.Events = h.Trace.Merged()
+			res.Dropped = h.Trace.Dropped()
+		}()
+	}
+	if h.Clu != nil && (opts.KeepTrace || opts.KeepEvents) {
+		// Registered after the export defers so it runs before them
+		// (LIFO): the Chrome export embeds these counters as Perfetto
+		// counter tracks.
+		defer func() {
+			st := h.Clu.Stats()
+			res.EngineStats = &st
 		}()
 	}
 	// Targets rotate over cells 1..cells-2: none host /usr (cell 0) or

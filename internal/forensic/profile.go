@@ -1,0 +1,166 @@
+package forensic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SpanStat aggregates one span name within one cell × subsystem bucket.
+type SpanStat struct {
+	Name  string   `json:"name"`
+	Time  sim.Time `json:"time_ns"`
+	Count int      `json:"count"`
+}
+
+// SubProfile is one subsystem's share of a cell's virtual time.
+type SubProfile struct {
+	Name   string     `json:"name"`
+	Time   sim.Time   `json:"time_ns"` // summed closed-span durations (inclusive)
+	Spans  int        `json:"spans"`   // closed spans
+	Events int        `json:"events"`  // instant events attributed here
+	Top    []SpanStat `json:"top"`     // per span name, by time desc
+}
+
+// CellProfile is one cell's flame-style top-down attribution.
+type CellProfile struct {
+	Cell   int          `json:"cell"`
+	Time   sim.Time     `json:"time_ns"`
+	Events int          `json:"events"`
+	Subs   []SubProfile `json:"subsystems"`
+}
+
+// Profile attributes virtual time (closed begin/end span pairs) and event
+// counts per cell × subsystem. Span durations are inclusive — a nested
+// span's time also counts in its parent, as in a top-down flame view —
+// so per-subsystem times are attribution weights, not a partition of the
+// run's wall of virtual time.
+type Profile struct {
+	Cells    []CellProfile `json:"cells"`
+	Total    sim.Time      `json:"total_ns"`
+	Unclosed int           `json:"unclosed_spans"`
+}
+
+// spanLabel names the slice opened by a begin-kind event (mirrors the
+// Chrome export's naming so Perfetto and the profiler agree).
+func spanLabel(e trace.Event) string {
+	switch e.Kind {
+	case trace.RPCSend:
+		return fmt.Sprintf("rpc:call:%d", e.B)
+	case trace.RPCRecv:
+		return fmt.Sprintf("rpc:serve:%d", e.B)
+	case trace.FaultBegin:
+		return "vm:fault"
+	case trace.PhaseBegin:
+		return e.S
+	}
+	return e.Kind.String()
+}
+
+func beginKind(k trace.Kind) bool {
+	return k == trace.RPCSend || k == trace.RPCRecv || k == trace.FaultBegin || k == trace.PhaseBegin
+}
+
+func endKind(k trace.Kind) bool {
+	return k == trace.RPCReply || k == trace.RPCTimeout || k == trace.FaultEnd || k == trace.PhaseEnd
+}
+
+type pairKey struct {
+	span trace.SpanID
+	cell int
+}
+
+type bucketKey struct {
+	cell int
+	sub  string
+	name string
+}
+
+// BuildProfile runs the profiler over a merged stream. Begin/end pairs
+// are matched exactly as the Chrome export matches them: same span id,
+// same cell, LIFO per key (a self-RPC nests its halves correctly). Spans
+// left open when the run stopped (or whose end fell off the ring) count
+// in Unclosed and contribute no time.
+func BuildProfile(events []trace.Event) *Profile {
+	buckets := map[bucketKey]*SpanStat{}
+	var bucketOrder []bucketKey     // insertion order, one entry per buckets key
+	instants := map[bucketKey]int{} // name=="" rows: instant counts per cell × subsystem
+	open := map[pairKey][]trace.Event{}
+	p := &Profile{}
+	cells := 0
+
+	addTime := func(cell int, sub, name string, d sim.Time) {
+		k := bucketKey{cell, sub, name}
+		b := buckets[k]
+		if b == nil {
+			b = &SpanStat{Name: name}
+			buckets[k] = b
+			bucketOrder = append(bucketOrder, k)
+		}
+		b.Time += d
+		b.Count++
+	}
+
+	for _, e := range events {
+		if e.Cell >= cells {
+			cells = e.Cell + 1
+		}
+		switch {
+		case beginKind(e.Kind) && e.Span != 0:
+			k := pairKey{e.Span, e.Cell}
+			open[k] = append(open[k], e)
+		case endKind(e.Kind) && e.Span != 0 && len(open[pairKey{e.Span, e.Cell}]) > 0:
+			k := pairKey{e.Span, e.Cell}
+			stack := open[k]
+			b := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			addTime(e.Cell, spanSubsystem(b), spanLabel(b), e.At-b.At)
+		default:
+			instants[bucketKey{e.Cell, instantSubsystem(e), ""}]++
+		}
+	}
+	for _, stack := range open {
+		p.Unclosed += len(stack)
+	}
+
+	for cell := 0; cell < cells; cell++ {
+		cp := CellProfile{Cell: cell}
+		for _, sub := range Subsystems() {
+			sp := SubProfile{Name: sub, Events: instants[bucketKey{cell, sub, ""}]}
+			for _, k := range bucketOrder {
+				if k.cell != cell || k.sub != sub {
+					continue
+				}
+				b := buckets[k]
+				sp.Time += b.Time
+				sp.Spans += b.Count
+				sp.Top = append(sp.Top, *b)
+			}
+			if sp.Time == 0 && sp.Spans == 0 && sp.Events == 0 {
+				continue
+			}
+			sort.SliceStable(sp.Top, func(i, j int) bool {
+				a, b := sp.Top[i], sp.Top[j]
+				if a.Time != b.Time {
+					return a.Time > b.Time
+				}
+				return a.Name < b.Name
+			})
+			cp.Time += sp.Time
+			cp.Events += sp.Events
+			cp.Subs = append(cp.Subs, sp)
+		}
+		sort.SliceStable(cp.Subs, func(i, j int) bool {
+			a, b := cp.Subs[i], cp.Subs[j]
+			if a.Time != b.Time {
+				return a.Time > b.Time
+			}
+			return a.Name < b.Name
+		})
+		p.Total += cp.Time
+		p.Cells = append(p.Cells, cp)
+	}
+	return p
+}

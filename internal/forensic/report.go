@@ -1,0 +1,156 @@
+package forensic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Report bundles the three forensic products of one run.
+type Report struct {
+	Graph   *Graph   `json:"-"`
+	Audit   Verdict  `json:"audit"`
+	Profile *Profile `json:"profile"`
+}
+
+// Analyze runs the full forensic pass over one run's merged stream:
+// graph reconstruction, containment audit, virtual-time profile. Pure
+// function of its inputs.
+func Analyze(events []trace.Event, dropped []trace.DropCount) *Report {
+	g := BuildGraph(events, dropped)
+	return &Report{
+		Graph:   g,
+		Audit:   Audit(g, events),
+		Profile: BuildProfile(events),
+	}
+}
+
+// cellName renders a graph node (-1 is the wire / unattributed).
+func cellName(c int) string {
+	if c < 0 {
+		return "wire"
+	}
+	return fmt.Sprintf("cell %d", c)
+}
+
+// Format renders the report deterministically: header (event volume,
+// truncation), located faults and deaths, the classified edge table, the
+// audit verdict with its evidence, and the per-cell top-down profile
+// showing the topN heaviest span names per subsystem.
+func (r *Report) Format(topN int) string {
+	if topN <= 0 {
+		topN = 3
+	}
+	g := r.Graph
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "forensics: %d events across %d cells", g.Events, g.Cells)
+	if d := totalDropped(g.Dropped); d > 0 {
+		fmt.Fprintf(&b, "; %d events dropped by ring truncation (", d)
+		first := true
+		for _, dc := range g.Dropped {
+			if dc.Total() == 0 {
+				continue
+			}
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&b, "cell %d: %d ctl + %d data", dc.Cell, dc.Control, dc.Data)
+		}
+		b.WriteString(") — WALK MAY BE INCOMPLETE")
+	} else {
+		b.WriteString("; no ring truncation")
+	}
+	b.WriteString("\n\n")
+
+	if len(g.Faults) > 0 {
+		b.WriteString("injected faults:\n")
+		for _, f := range g.Faults {
+			fmt.Fprintf(&b, "  %s  %-7s at %v\n", cellName(f.Cell), f.What, f.At)
+		}
+	}
+	if len(g.WireFaults) > 0 {
+		b.WriteString("injected wire faults:\n")
+		for _, w := range g.WireFaults {
+			fmt.Fprintf(&b, "  %-7s ×%-4d first at %v\n", w.Kind, w.Count, w.First)
+		}
+	}
+	if len(g.Deaths) > 0 {
+		b.WriteString("deaths:\n")
+		for _, d := range g.Deaths {
+			tag := "injected"
+			if !d.Injected {
+				tag = "NOT INJECTED"
+			}
+			fmt.Fprintf(&b, "  %s at %v (%s): %s\n", cellName(d.Cell), d.At, tag, d.Reason)
+		}
+	}
+	b.WriteString("\n")
+
+	if len(g.Edges) > 0 {
+		t := stats.NewTable("propagation edges (downstream of the fault)",
+			"class", "from", "to", "via", "count", "first", "last")
+		for _, e := range g.Edges {
+			t.AddRow(e.Class.String(), cellName(e.From), cellName(e.To), e.Via,
+				fmt.Sprintf("%d", e.Count), fmt.Sprintf("%v", e.First), fmt.Sprintf("%v", e.Last))
+		}
+		b.WriteString(t.String())
+		counts := g.ClassCounts()
+		b.WriteString("edge events:")
+		for _, c := range edgeClasses() {
+			if counts[c] > 0 {
+				fmt.Fprintf(&b, " %s=%d", c, counts[c])
+			}
+		}
+		b.WriteString("\n\n")
+	} else {
+		b.WriteString("propagation edges: none\n\n")
+	}
+
+	verdict := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(&b, "audit: detected=%s contained=%s\n",
+		verdict(r.Audit.Detected), verdict(r.Audit.Contained))
+	for _, ev := range r.Audit.Evidence {
+		fmt.Fprintf(&b, "  - %s\n", ev)
+	}
+	b.WriteString("\n")
+
+	b.WriteString(r.FormatProfile(topN))
+	return b.String()
+}
+
+// FormatProfile renders only the virtual-time profile section.
+func (r *Report) FormatProfile(topN int) string {
+	if topN <= 0 {
+		topN = 3
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual-time profile (inclusive span time; top %d names per subsystem):\n", topN)
+	if r.Profile.Unclosed > 0 {
+		fmt.Fprintf(&b, "  (%d spans left open contribute no time)\n", r.Profile.Unclosed)
+	}
+	for _, cp := range r.Profile.Cells {
+		if cp.Time == 0 && cp.Events == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "cell %d  %v span time, %d instant events\n", cp.Cell, cp.Time, cp.Events)
+		for _, sp := range cp.Subs {
+			fmt.Fprintf(&b, "  %-11s %12v  %6d spans  %6d events\n", sp.Name, sp.Time, sp.Spans, sp.Events)
+			for i, top := range sp.Top {
+				if i >= topN {
+					break
+				}
+				fmt.Fprintf(&b, "    %-24s %12v  ×%d\n", top.Name, top.Time, top.Count)
+			}
+		}
+	}
+	return b.String()
+}

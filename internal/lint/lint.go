@@ -157,6 +157,7 @@ func DefaultConfig() *Config {
 			"stats":    1,
 			"trace":    1,
 			"disk":     1,
+			"forensic": 2, // pure consumer of the trace substrate
 			"machine":  2,
 			"rpc":      3,
 			"careful":  3,

@@ -501,6 +501,7 @@ func (ep *Endpoint) onSIPS(msg *machine.SIPSMsg) {
 				// A wire-duplicated reply for a call still unwinding:
 				// the first copy already resolved the future.
 				ep.Metrics.Counter("rpc.dup_replies").Inc()
+				ep.Tracer.EmitSpan(ep.eng.Now(), trace.RPCDedup, req.Span, int64(req.To), 0, "dup-reply")
 				return
 			}
 			req.future.Set(rep, nil)
@@ -510,6 +511,7 @@ func (ep *Endpoint) onSIPS(msg *machine.SIPSMsg) {
 			// reply can only be discarded, never delivered to a later
 			// call.
 			ep.Metrics.Counter("rpc.stale_replies").Inc()
+			ep.Tracer.Emit(ep.eng.Now(), trace.RPCDedup, -1, 0, "stale-reply")
 		}
 	}
 }
@@ -556,6 +558,7 @@ func (ep *Endpoint) handleRequest(msg *machine.SIPSMsg) {
 	key := dedupKey{req.From, req.ID}
 	if ent, dup := ep.seen[key]; dup {
 		ep.Metrics.Counter("rpc.dup_requests").Inc()
+		ep.Tracer.EmitSpan(ep.eng.Now(), trace.RPCDedup, req.Span, int64(req.From), 0, "dup-request")
 		if ent.rep != nil {
 			rep := ent.rep
 			proc.Interrupt(base, func() { ep.resend(proc, req, rep) })

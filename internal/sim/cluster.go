@@ -68,6 +68,76 @@ type Cluster struct {
 	mail    [][]mailLane // mail[src][dst]
 	hops    []hopLane    // per-source-shard Global/SendGlobal entries
 	stopped atomic.Bool
+
+	probe clusterProbe
+}
+
+// clusterProbe accumulates the deterministic window/mailbox counters
+// behind Cluster.Stats. Every field is touched only by the coordinator
+// between windows (never inside the parallel phase), so the counters are
+// a pure function of the event schedule — byte-identical at any worker
+// count — and cost O(shards) per window.
+type clusterProbe struct {
+	windows uint64
+	active  []uint64 // per shard: windows in which it had work
+	mailIn  []uint64 // per shard: cross-shard events merged in
+	mailOut []uint64 // per shard: cross-shard events sent
+	hops    []uint64 // per shard: global-phase requests raised
+	maxHeap []int    // per shard: pending-event high-water mark
+
+	lastMerged int // events merged at the most recent barrier
+
+	samples []WindowSample
+	stride  uint64 // sample every stride-th window
+}
+
+// probeSampleCap bounds the retained window time series. When full, the
+// series is decimated deterministically (every other sample dropped, the
+// stride doubled), so an arbitrarily long run keeps a bounded, evenly
+// spaced history whose content depends only on the schedule.
+const probeSampleCap = 4096
+
+// ShardStats is one shard's deterministic execution counters.
+type ShardStats struct {
+	Shard         int    `json:"shard"`
+	ActiveWindows uint64 `json:"active_windows"` // windows with local work (shard 0: global phase)
+	Dispatched    uint64 `json:"dispatched"`     // events fired on this shard
+	MailIn        uint64 `json:"mail_in"`        // cross-shard events merged into this shard
+	MailOut       uint64 `json:"mail_out"`       // cross-shard events sent by this shard
+	Hops          uint64 `json:"hops"`           // global-phase requests raised by this shard
+	MaxHeap       int    `json:"max_heap"`       // pending-event high-water mark at barriers
+}
+
+// WindowSample is one point of the (possibly decimated) per-window time
+// series: the state observed at the barrier that opened the window.
+type WindowSample struct {
+	At      Time `json:"at"`       // window start
+	Merged  int  `json:"merged"`   // cross-shard events merged at the barrier
+	Active  int  `json:"active"`   // cell shards with work in the window
+	Pending int  `json:"pending"`  // live events across all shards after the merge
+	MaxHeap int  `json:"max_heap"` // largest single-shard heap after the merge
+}
+
+// ClusterStats is a snapshot of the sharded engine's instrumentation:
+// totals per shard plus a bounded window time series. All values derive
+// from virtual time and the deterministic merge order, so snapshots taken
+// at the same virtual point are byte-identical across worker counts.
+type ClusterStats struct {
+	Lookahead   Time           `json:"lookahead_ns"`
+	Windows     uint64         `json:"windows"`
+	Shards      []ShardStats   `json:"shards"`
+	Samples     []WindowSample `json:"samples"`
+	SampleEvery uint64         `json:"sample_every"` // stride of the retained series
+}
+
+// BarrierIdleShare reports, for one shard, the fraction of windows in
+// which it had nothing to do — time spent waiting at the barrier for
+// other shards. 0 when no windows have run.
+func (st ClusterStats) BarrierIdleShare(shard int) float64 {
+	if st.Windows == 0 || shard < 0 || shard >= len(st.Shards) {
+		return 0
+	}
+	return 1 - float64(st.Shards[shard].ActiveWindows)/float64(st.Windows)
 }
 
 // mailLane buffers cross-shard events from one source shard to one
@@ -147,7 +217,83 @@ func NewCluster(seed int64, n int, lookahead Time) *Cluster {
 		c.mail[i] = make([]mailLane, n+1)
 	}
 	c.hops = make([]hopLane, n+1)
+	c.probe = clusterProbe{
+		active:  make([]uint64, n+1),
+		mailIn:  make([]uint64, n+1),
+		mailOut: make([]uint64, n+1),
+		hops:    make([]uint64, n+1),
+		maxHeap: make([]int, n+1),
+		stride:  1,
+	}
 	return c
+}
+
+// Stats snapshots the engine instrumentation accumulated so far.
+func (c *Cluster) Stats() ClusterStats {
+	p := &c.probe
+	st := ClusterStats{
+		Lookahead:   c.lookahead,
+		Windows:     p.windows,
+		Shards:      make([]ShardStats, len(c.shards)),
+		Samples:     append([]WindowSample(nil), p.samples...),
+		SampleEvery: p.stride,
+	}
+	for id, s := range c.shards {
+		st.Shards[id] = ShardStats{
+			Shard:         id,
+			ActiveWindows: p.active[id],
+			Dispatched:    s.dispatched,
+			MailIn:        p.mailIn[id],
+			MailOut:       p.mailOut[id],
+			Hops:          p.hops[id],
+			MaxHeap:       p.maxHeap[id],
+		}
+	}
+	return st
+}
+
+// observeWindow records one window's barrier-time state: which shards
+// have work, how deep each heap is, and what the preceding merge moved.
+// Runs on the coordinator between mergeMail and the P phase.
+func (c *Cluster) observeWindow(horizon Time, winStart Time) {
+	p := &c.probe
+	p.windows++
+	active, pending, maxHeap := 0, 0, 0
+	for id, s := range c.shards {
+		// Shard 0's activity is observed in the G phase (after the hop
+		// merge), where its work for this window actually exists.
+		if id != 0 && s.hasWorkBefore(horizon) {
+			p.active[id]++
+			active++
+		}
+		pending += s.nLive
+		if s.nLive > maxHeap {
+			maxHeap = s.nLive
+		}
+		if s.nLive > p.maxHeap[id] {
+			p.maxHeap[id] = s.nLive
+		}
+	}
+	if (p.windows-1)%p.stride == 0 {
+		p.samples = append(p.samples, WindowSample{
+			At:      winStart,
+			Merged:  p.lastMerged,
+			Active:  active,
+			Pending: pending,
+			MaxHeap: maxHeap,
+		})
+		if len(p.samples) >= probeSampleCap {
+			// Deterministic decimation: keep every other sample, double
+			// the stride. The retained series stays evenly spaced.
+			kept := p.samples[:0]
+			for i := 0; i < len(p.samples); i += 2 {
+				kept = append(kept, p.samples[i])
+			}
+			p.samples = kept
+			p.stride *= 2
+		}
+	}
+	p.lastMerged = 0
 }
 
 // SetWorkers sets how many OS goroutines execute cell shards during the
@@ -255,6 +401,7 @@ func (c *Cluster) Run(deadline Time) Time {
 			horizon = deadline + 1
 		}
 		c.horizon = horizon
+		c.observeWindow(horizon, winStart)
 
 		// P phase: cell shards execute the window.
 		c.phase.Store(phaseP)
@@ -276,6 +423,9 @@ func (c *Cluster) Run(deadline Time) Time {
 		c.serialCur = 0
 		c.mergeHops()
 		g := c.shards[0]
+		if g.hasWorkBefore(horizon) {
+			c.probe.active[0]++
+		}
 		g.running = true
 		g.runWindow(horizon)
 		g.running = false
@@ -575,6 +725,9 @@ func (c *Cluster) mergeMail() {
 			if en.fn == nil || en.cancelled {
 				continue
 			}
+			c.probe.mailOut[tg.src]++
+			c.probe.mailIn[dst]++
+			c.probe.lastMerged++
 			if d.pendingCross == nil {
 				d.pendingCross = make(map[crossKey]*Event)
 			}
@@ -651,6 +804,7 @@ func (c *Cluster) mergeHops() {
 	var all []hopEntry
 	for src := 1; src < len(c.shards); src++ {
 		lane := &c.hops[src]
+		c.probe.hops[src] += uint64(len(lane.entries))
 		for _, en := range lane.entries {
 			en.src = src
 			all = append(all, en)

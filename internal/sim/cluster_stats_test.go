@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// statsWorkload runs a small 3-shard cluster with cross-shard traffic and
+// global hops, returning the probe snapshot.
+func statsWorkload(workers int) ClusterStats {
+	const L = 50
+	c := NewCluster(9, 3, L)
+	c.SetWorkers(workers)
+	for id := 1; id <= 3; id++ {
+		id := id
+		e := c.Shard(id)
+		e.Go("t", func(tk *Task) {
+			for i := 0; i < 30; i++ {
+				tk.Sleep(Time(e.Rand().Intn(23)) + 1)
+				switch i % 5 {
+				case 2:
+					e.Send(c.Shard(1+id%3), L+1, func() {})
+				case 4:
+					e.SendGlobal(func() {})
+				}
+			}
+		})
+	}
+	c.Run(0)
+	return c.Stats()
+}
+
+func TestClusterStatsPopulated(t *testing.T) {
+	st := statsWorkload(1)
+	if st.Windows == 0 {
+		t.Fatal("no lookahead windows recorded")
+	}
+	if st.Lookahead != 50 {
+		t.Fatalf("lookahead = %d, want 50", st.Lookahead)
+	}
+	if len(st.Shards) != 4 { // global + 3 cell shards
+		t.Fatalf("shards = %d, want 4", len(st.Shards))
+	}
+	var mailIn, mailOut, hops, dispatched uint64
+	for _, s := range st.Shards {
+		mailIn += s.MailIn
+		mailOut += s.MailOut
+		hops += s.Hops
+		dispatched += s.Dispatched
+		if s.ActiveWindows > st.Windows {
+			t.Errorf("shard %d active %d exceeds window count %d", s.Shard, s.ActiveWindows, st.Windows)
+		}
+	}
+	if mailIn == 0 || mailIn != mailOut {
+		t.Fatalf("mailbox counters in=%d out=%d, want equal and nonzero", mailIn, mailOut)
+	}
+	if hops == 0 {
+		t.Fatal("no global hops counted despite SendGlobal traffic")
+	}
+	if dispatched == 0 {
+		t.Fatal("no dispatches counted")
+	}
+	if len(st.Samples) == 0 {
+		t.Fatal("no window samples recorded")
+	}
+	for _, s := range st.Shards {
+		share := st.BarrierIdleShare(s.Shard)
+		if share < 0 || share > 1 {
+			t.Errorf("shard %d idle share %f out of [0,1]", s.Shard, share)
+		}
+	}
+}
+
+func TestClusterStatsIdenticalAcrossWorkers(t *testing.T) {
+	ref, _ := json.Marshal(statsWorkload(1))
+	for _, w := range []int{2, 4} {
+		got, _ := json.Marshal(statsWorkload(w))
+		if string(got) != string(ref) {
+			t.Fatalf("stats diverge at workers=%d:\n%s\nvs serial:\n%s", w, got, ref)
+		}
+	}
+}

@@ -97,6 +97,18 @@ const (
 	// after its coordinator died mid-round (A = dead coordinator,
 	// B = new coordinator).
 	RoundRestart
+	// Inject marks a fault injection into this cell (S = "hw-fail" or
+	// "corrupt"). Emitted by the injection path itself so a forensic
+	// walk can locate faults from the trace alone.
+	Inject
+	// CarefulAbort is a careful-reference protocol abort: a cross-cell
+	// kernel read hit bad data and was discarded instead of trusted
+	// (A = suspect cell, S = reason).
+	CarefulAbort
+	// RPCDedup is a server or client discarding a duplicate or stale
+	// message instead of re-executing it (A = peer cell, S = one of
+	// "dup-request", "dup-reply", "stale-reply").
+	RPCDedup
 
 	numKinds
 )
@@ -154,6 +166,12 @@ func (k Kind) String() string {
 		return "RPC-RETRY"
 	case RoundRestart:
 		return "ROUND-RESTART"
+	case Inject:
+		return "INJECT"
+	case CarefulAbort:
+		return "CAREFUL-ABORT"
+	case RPCDedup:
+		return "RPC-DEDUP"
 	default:
 		return "INFO"
 	}
@@ -166,7 +184,8 @@ func (k Kind) String() string {
 func (k Kind) control() bool {
 	switch k {
 	case Hint, Alert, Vote, Panic, Kill, Discard, PhaseBegin, PhaseEnd, WaxHint, Info,
-		MsgDrop, MsgDup, MsgCorrupt, RPCRetry, RoundRestart:
+		MsgDrop, MsgDup, MsgCorrupt, RPCRetry, RoundRestart,
+		Inject, CarefulAbort, RPCDedup:
 		// Injected message faults, retransmissions, and round restarts
 		// are rare and forensically decisive: they live in the control
 		// ring so a busy workload cannot evict them.
@@ -250,6 +269,12 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("retry attempt %d to cell %d", e.B, e.A)
 	case RoundRestart:
 		return fmt.Sprintf("round coordinator %d died; restarted under %d", e.A, e.B)
+	case Inject:
+		return "fault injected: " + e.S
+	case CarefulAbort:
+		return fmt.Sprintf("careful read about cell %d aborted: %s", e.A, e.S)
+	case RPCDedup:
+		return fmt.Sprintf("%s from cell %d discarded", e.S, e.A)
 	default:
 		return e.S
 	}
@@ -271,6 +296,7 @@ type Ring struct {
 	events  []Event
 	next    int
 	wrapped bool
+	dropped uint64
 }
 
 // NewRing returns a ring holding the last n events.
@@ -282,8 +308,13 @@ func NewRing(n int) *Ring {
 }
 
 // Record appends an event. It stores typed fields only — no formatting,
-// no allocation (see BenchmarkRecord).
+// no allocation (see BenchmarkRecord). Once the ring has wrapped, every
+// further record overwrites the oldest held event; the overwrite is
+// counted so truncation is never silent.
 func (r *Ring) Record(e Event) {
+	if r.wrapped {
+		r.dropped++
+	}
 	r.events[r.next] = e
 	r.next++
 	if r.next == r.cap {
@@ -291,6 +322,11 @@ func (r *Ring) Record(e Event) {
 		r.wrapped = true
 	}
 }
+
+// Dropped reports how many events have been overwritten since the ring
+// filled. The held window always covers [first kept, now]; Dropped says
+// how much history before that window is gone.
+func (r *Ring) Dropped() uint64 { return r.dropped }
 
 // Len reports how many events are held.
 func (r *Ring) Len() int {
@@ -419,6 +455,35 @@ func (s *Set) Record(cell int, e Event) {
 	} else {
 		s.data[cell].Record(e)
 	}
+}
+
+// DropCount reports one cell's ring truncation: how many control- and
+// data-plane events were overwritten before the held window begins.
+type DropCount struct {
+	Cell    int
+	Control uint64
+	Data    uint64
+}
+
+// Total is the cell's combined overwrite count.
+func (d DropCount) Total() uint64 { return d.Control + d.Data }
+
+// Dropped returns the per-cell truncation counters, indexed by cell.
+func (s *Set) Dropped() []DropCount {
+	out := make([]DropCount, len(s.ctl))
+	for i := range s.ctl {
+		out[i] = DropCount{Cell: i, Control: s.ctl[i].Dropped(), Data: s.data[i].Dropped()}
+	}
+	return out
+}
+
+// TotalDropped sums the overwrite counts across every cell and ring.
+func (s *Set) TotalDropped() uint64 {
+	var n uint64
+	for i := range s.ctl {
+		n += s.ctl[i].Dropped() + s.data[i].Dropped()
+	}
+	return n
 }
 
 // Tracer returns the recording handle for one cell. The nil *Tracer is a
