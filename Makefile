@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke mort-check shard-identity race bench bench-engine bench-report bench-gate clean
+.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke mort-check shard-identity reboot-identity crashloop-soak race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -93,6 +93,40 @@ shard-identity:
 	diff $(SCRATCH)/trace_s1.json $(SCRATCH)/trace_sa.json
 	rm -rf $(SCRATCH)
 	@echo "shard-identity: -shards 1 and -shards auto byte-identical"
+
+# reboot-identity is the availability-loop determinism gate: the three
+# reboot scenarios' aggregates (time-to-full-capacity, during-loop p99,
+# containment) must be byte-identical across -j1/-j8 and between
+# -shards 1 (the serial reference) and -shards auto. Wall-clock and
+# worker-count fields are stripped before the diff, same as
+# shard-identity.
+RBSCRATCH := .rebootcheck
+reboot-identity:
+	mkdir -p $(RBSCRATCH)
+	$(GO) run ./cmd/hivebench -only reboot -j 1 -json -o $(RBSCRATCH)/rb_j1.json
+	$(GO) run ./cmd/hivebench -only reboot -j 8 -json -o $(RBSCRATCH)/rb_j8.json
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"' $(RBSCRATCH)/rb_j1.json > $(RBSCRATCH)/rb_j1.norm
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"' $(RBSCRATCH)/rb_j8.json > $(RBSCRATCH)/rb_j8.norm
+	diff $(RBSCRATCH)/rb_j1.norm $(RBSCRATCH)/rb_j8.norm
+	$(GO) run ./cmd/hivebench -only reboot -shards 1 -json -o $(RBSCRATCH)/rb_s1.json
+	$(GO) run ./cmd/hivebench -only reboot -shards auto -json -o $(RBSCRATCH)/rb_sa.json
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"' $(RBSCRATCH)/rb_s1.json > $(RBSCRATCH)/rb_s1.norm
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"' $(RBSCRATCH)/rb_sa.json > $(RBSCRATCH)/rb_sa.norm
+	diff $(RBSCRATCH)/rb_s1.norm $(RBSCRATCH)/rb_sa.norm
+	rm -rf $(RBSCRATCH)
+	@echo "reboot-identity: availability loop byte-identical across -j and -shards"
+
+# crashloop-soak is the nightly deep gate for the availability loop:
+# many extra trials of the crash-loop (scenario 12) and rolling-reboot
+# (scenario 13) scenarios beyond the default campaign counts — every
+# trial index draws a fresh seed — exiting nonzero on any containment
+# failure or unbounded rejoin loop.
+crashloop-soak:
+	$(GO) build -o .soak-faultdrill ./cmd/faultdrill
+	for t in $$(seq 0 24); do ./.soak-faultdrill -scenario 12 -trial $$t || exit 1; done
+	for t in $$(seq 0 11); do ./.soak-faultdrill -scenario 13 -trial $$t || exit 1; done
+	rm -f .soak-faultdrill
+	@echo "crashloop-soak: 25 crash-loop + 12 rolling-reboot trials, all contained"
 
 # race runs the concurrency-sensitive packages under the race detector,
 # including the cross-package determinism gates in internal/faultinject

@@ -10,8 +10,8 @@
 //	hivebench -json -o BENCH_hive.json
 //	hivebench -trace out.json # Perfetto trace of a fault-injection trial
 //	hivebench -only t72       # one experiment: careful41, rpc6, t52,
-//	                          # t72, t73, t74, fw42, traffic52, t81,
-//	                          # scale, scalability, agreement,
+//	                          # t72, t73, t74, fw42, traffic52, reboot,
+//	                          # t81, scale, scalability, agreement,
 //	                          # cowlookup, sipsipi, fwgran, ccnow
 //
 // Experiments are deterministic simulations: the tables are byte-identical
@@ -283,6 +283,30 @@ func main() {
 		c.metric("all_contained", allOK)
 		c.println(harness.FormatTable74(rows))
 		c.println("paper: avg/max detect (ms) = 16/21, 10/11, 21/45, 38/65, 401/760; recovery 40-80 ms; all contained")
+		c.println()
+	})
+
+	run("reboot", func(c *runCtx) {
+		scale := 1.0
+		if *quick {
+			scale = 0.5
+		}
+		rows := harness.RunRebootLoop(scale)
+		allOK := 1.0
+		for _, r := range rows {
+			key := fmt.Sprintf("s%d", int(r.Scenario))
+			c.metric(key+"_tests", float64(r.Tests))
+			c.metric(key+"_avg_restore_ms", r.AvgRestore)
+			c.metric(key+"_p99_restore_ms", r.P99Restore)
+			c.metric(key+"_loop_p99_ms", r.AvgLoopP99)
+			if !r.AllOK {
+				allOK = 0
+			}
+		}
+		c.metric("all_contained", allOK)
+		c.println(harness.FormatRebootLoop(rows))
+		c.println("time-to-restored-full-capacity is death verdict → join-round commit;")
+		c.println("loop p99 is the probe-op latency while the loop ran (§4.3 closed end-to-end).")
 		c.println()
 	})
 

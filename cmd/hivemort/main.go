@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	hivemort                      # audit the full default campaign (117 trials)
+//	hivemort                      # audit the full default campaign (133 trials)
 //	hivemort -trials 3            # 3 trials per scenario
 //	hivemort -cells 16 -shards auto  # audit a sharded 16-cell campaign
 //	hivemort -j 8                 # fan trials across 8 workers (same report at any -j)
@@ -63,6 +63,7 @@ type scenarioAudit struct {
 	Detected      int          `json:"detected"`
 	Contained     int          `json:"contained"`
 	Escapes       int          `json:"escapes"`
+	Rejoins       int          `json:"rejoins"` // join-round commits seen in the traces
 	Events        int64        `json:"events"`
 	DroppedEvents uint64       `json:"dropped_events"`
 	Trials        []trialAudit `json:"trials"`
@@ -207,16 +208,39 @@ func main() {
 	fmt.Println()
 
 	t := stats.NewTable("trace audit vs harness (per scenario)",
-		"scenario", "trials", "agree", "detected", "contained", "escapes", "events", "dropped")
+		"scenario", "trials", "agree", "detected", "contained", "escapes", "rejoins", "events", "dropped")
 	for _, row := range rows {
 		t.AddRow(row.Name,
 			fmt.Sprintf("%d", row.Tests), fmt.Sprintf("%d", row.Agree),
 			fmt.Sprintf("%d", row.Detected), fmt.Sprintf("%d", row.Contained),
-			fmt.Sprintf("%d", row.Escapes),
+			fmt.Sprintf("%d", row.Escapes), fmt.Sprintf("%d", row.Rejoins),
 			fmt.Sprintf("%d", row.Events), fmt.Sprintf("%d", row.DroppedEvents))
 	}
 	fmt.Print(t.String())
 	fmt.Println()
+
+	// Rejoin section: the availability loop as re-derived from the traces
+	// alone. A rejoined cell's later death must audit as a new fault, so
+	// the agree column above already covers the attribution property; this
+	// section surfaces how often the loop closed.
+	if anyRejoins := func() bool {
+		for _, row := range rows {
+			if row.Rejoins > 0 {
+				return true
+			}
+		}
+		return false
+	}(); anyRejoins {
+		fmt.Println("availability loop (join-round commits seen in the traces):")
+		for _, row := range rows {
+			if !faultinject.Scenario(row.Scenario).RebootLoop() {
+				continue
+			}
+			fmt.Printf("  %-48s %d trial(s), %d rejoin commit(s)\n",
+				row.Name, row.Tests, row.Rejoins)
+		}
+		fmt.Println()
+	}
 
 	if engine != nil {
 		fmt.Print(engine.format())
@@ -274,6 +298,7 @@ func auditScenario(s faultinject.Scenario, tests int, opts faultinject.TrialOpts
 			row.Contained++
 		}
 		row.Escapes += len(t.Audit.Escapes)
+		row.Rejoins += len(t.Audit.Rejoined)
 		row.Events += int64(t.Events)
 		row.DroppedEvents += t.DroppedEvents
 	}

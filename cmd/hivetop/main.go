@@ -10,6 +10,7 @@
 //	hivetop -interval 500ms -fail 2 -failat 3s
 //	hivetop -fail 2 -hist 3 -tail 20 -trace top.json
 //	hivetop -fail 2 -forensic      # propagation graph + virtual-time profile
+//	hivetop -fail 2 -reboot        # availability loop: reboot, rejoin, restore
 //	hivetop -shards auto -trace top.json  # sharded engine, with counter tracks
 package main
 
@@ -39,6 +40,7 @@ func main() {
 		tailN      = flag.Int("tail", 12, "forensic trace tail length (0 = none)")
 		tracePath  = flag.String("trace", "", "also write the Chrome trace-event JSON file")
 		forensicOn = flag.Bool("forensic", false, "print the fault-propagation graph and virtual-time profile (implied by -fail)")
+		reboot     = flag.Bool("reboot", false, "run the availability loop: reboot the failed cell, rejoin it, restore full capacity")
 		topN       = flag.Int("top", 3, "top span names per subsystem in the -forensic profile")
 		shards     = flag.String("shards", "", "engine mode: 0 = classic (default), N = sharded with N workers, auto = one worker per cell")
 	)
@@ -54,6 +56,9 @@ func main() {
 	h := workload.BootHiveWith(*cells, *seed, func(cfg *core.Config) {
 		if *tracePath != "" || *forensicOn || *fail >= 0 {
 			cfg.TraceCap = 1 << 16
+		}
+		if *reboot {
+			cfg.Reboot = core.RebootPolicy{Enabled: true}
 		}
 	})
 	if *fail >= 0 && *fail < len(h.Cells) {
@@ -71,6 +76,14 @@ func main() {
 	h.Eng.After(sim.Time(interval.Nanoseconds()), snap)
 
 	res := workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+	if *reboot && h.Rebooter != nil {
+		// The workload driver stops once pmake settles; keep the clock
+		// running until the availability loop does too (rejoin committed,
+		// or the crash-loop bound reached).
+		h.RunUntil(func() bool {
+			return h.Rebooter.Idle() && h.Coord.RecoveryIdle()
+		}, h.Now()+15*sim.Second)
+	}
 	printSnapshot(h)
 	fmt.Printf("\nworkload %s finished: done=%v elapsed=%.3fs\n",
 		res.Name, res.Done, res.Elapsed.Seconds())
@@ -144,6 +157,8 @@ func printSnapshot(h *core.Hive) {
 
 // printRecoveryTimeline reconstructs the detection→alert→barrier1→barrier2
 // →resume sequence from the structured trace, per cell, in virtual time.
+// With the availability loop on, the same view continues through the
+// reboot and join:* phases and ends with the capacity-restored marker.
 func printRecoveryTimeline(h *core.Hive) {
 	type phase struct {
 		cell  int
@@ -151,6 +166,9 @@ func printRecoveryTimeline(h *core.Hive) {
 		begin sim.Time
 		end   sim.Time
 		open  bool
+	}
+	timelinePhase := func(name string) bool {
+		return strings.HasPrefix(name, "recovery:") || strings.HasPrefix(name, "join:")
 	}
 	var phases []phase
 	openIdx := map[string]int{} // "cell:name" -> phases index
@@ -161,14 +179,20 @@ func printRecoveryTimeline(h *core.Hive) {
 			fmt.Printf("  %10.3f ms  cell %d  %s\n", e.At.Millis(), e.Cell, e.Detail())
 		case trace.Vote:
 			fmt.Printf("  %10.3f ms  cell %d  %s\n", e.At.Millis(), e.Cell, e.Detail())
+		case trace.Reboot:
+			fmt.Printf("  %10.3f ms  cell %d  REBOOT attempt %d: %s\n",
+				e.At.Millis(), e.A, e.B, e.S)
+		case trace.Rejoin:
+			fmt.Printf("  %10.3f ms  cell %d  REJOIN committed (join round led by cell %d)\n",
+				e.At.Millis(), e.A, e.B)
 		case trace.PhaseBegin:
-			if strings.HasPrefix(e.S, "recovery:") {
+			if timelinePhase(e.S) {
 				key := fmt.Sprintf("%d:%s", e.Cell, e.S)
 				openIdx[key] = len(phases)
 				phases = append(phases, phase{cell: e.Cell, name: e.S, begin: e.At, open: true})
 			}
 		case trace.PhaseEnd:
-			if strings.HasPrefix(e.S, "recovery:") {
+			if timelinePhase(e.S) {
 				key := fmt.Sprintf("%d:%s", e.Cell, e.S)
 				if i, ok := openIdx[key]; ok && phases[i].open {
 					phases[i].end = e.At
@@ -188,6 +212,21 @@ func printRecoveryTimeline(h *core.Hive) {
 	}
 	if len(phases) == 0 {
 		fmt.Println("  (no recovery phases recorded)")
+	}
+	if rb := h.Rebooter; rb != nil {
+		if rb.FullCapacityAt > 0 {
+			fmt.Printf("  %10.3f ms  ── FULL CAPACITY RESTORED (%d/%d cells live) ──\n",
+				rb.FullCapacityAt.Millis(), h.Coord.LiveCount(), len(h.Cells))
+		}
+		for _, rec := range rb.Records {
+			if rec.Restored() {
+				fmt.Printf("  cell %d restored in %.3f ms (death verdict → join commit, %d attempt(s))\n",
+					rec.Cell, (rec.RejoinAt - rec.DeadAt).Millis(), rec.Attempts)
+			} else if rec.GaveUp {
+				fmt.Printf("  cell %d NOT restored: gave up after %d attempt(s)\n",
+					rec.Cell, rec.Attempts)
+			}
+		}
 	}
 }
 

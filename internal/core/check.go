@@ -142,6 +142,17 @@ func (h *Hive) CheckInvariants() []string {
 					continue // not writable by that cell
 				}
 				if !pf.WritableBy(other) && pf.LoanedTo != other {
+					// A loaned frame is controlled by its borrower
+					// (invariant 3): the borrower may cache one of its own
+					// pages in it and export that page writable — the write
+					// permission is then justified by the borrower's pfdat,
+					// not the home's. Reachable since the rejoin warm-up
+					// migrates a file server's cache into borrowed frames.
+					if b := pf.LoanedTo; b >= 0 && live(b) {
+						if bpf, ok := h.Cells[b].VM.PfdatFor(f); ok && bpf.WritableBy(other) {
+							continue
+						}
+					}
 					report("cell%d frame %d writable by cell%d without export or loan",
 						c.ID, f, other)
 				}

@@ -43,6 +43,12 @@ type Config struct {
 	Agreement membership.AgreementMode
 	// AutoReintegrate lets the recovery master reboot repaired cells.
 	AutoReintegrate bool
+	// Reboot configures the availability loop: when enabled, a controller
+	// microboots a declared-dead cell on its repaired nodes and re-admits
+	// it through a membership join round (untrusted until commit), then
+	// warms it back to full capacity. Orthogonal to AutoReintegrate, the
+	// older synchronous path.
+	Reboot RebootPolicy
 	// KernelPagesPerNode are reserved for each cell's kernel (never
 	// shared or loaned). Defaults to 1/4 of each node's pages, leaving
 	// ≈6000 user pages per 32 MB node as in §4.2.
@@ -107,6 +113,10 @@ type Hive struct {
 
 	// CellOfNode maps node -> owning cell.
 	CellOfNode []int
+
+	// Rebooter drives the fault → reboot → rejoin → full-capacity loop
+	// when Cfg.Reboot.Enabled (nil otherwise).
+	Rebooter *Rebooter
 }
 
 // Cell is one independent kernel.
@@ -128,6 +138,7 @@ type Cell struct {
 
 	failed  bool // fail-stop or forced stop
 	corrupt bool // software-corrupted (fault injection ground truth)
+	boots   int  // microboot count (RPC incarnation epoch)
 
 	Metrics *stats.Registry
 }
@@ -230,6 +241,12 @@ func Boot(cfg Config) *Hive {
 	}
 	h.Coord.OnDeclaredDead = func(cell int) {
 		h.Cells[cell].ForceStop("declared dead by agreement")
+		if h.Rebooter != nil {
+			h.Rebooter.noteDeath(cell)
+		}
+	}
+	if cfg.Reboot.Enabled {
+		h.Rebooter = newRebooter(h, cfg.Reboot)
 	}
 	for _, c := range h.Cells {
 		c.Mon.Start()
@@ -256,8 +273,20 @@ func endpoints(cells []*Cell) []*rpc.Endpoint {
 	return eps
 }
 
-// bootCell assembles one cell's kernel.
+// bootCell assembles one cell's kernel on a fresh Cell struct.
 func (h *Hive) bootCell(id int) *Cell {
+	c := &Cell{ID: id, Hive: h}
+	h.buildCell(c)
+	return c
+}
+
+// buildCell assembles (or, on a microboot, reassembles) a cell's kernel
+// in place on the given Cell. Every closure handed to a subsystem —
+// the arena's fault-model gate, the corruption panic, the recovery hooks —
+// captures c itself, so a rebooted cell's fresh subsystems keep pointing
+// at the one *Cell the Hive, the peers, and the harness all hold.
+func (h *Hive) buildCell(c *Cell) {
+	id := c.ID
 	nodesPerCell := h.Cfg.Machine.Nodes / h.Cfg.Cells
 	var nodes []int
 	var procs []*machine.Processor
@@ -266,7 +295,9 @@ func (h *Hive) bootCell(id int) *Cell {
 		nodes = append(nodes, n)
 		procs = append(procs, h.M.Nodes[n].Procs...)
 	}
-	c := &Cell{ID: id, Hive: h, Nodes: nodes, Metrics: stats.NewRegistry(), Tracer: h.Trace.Tracer(id)}
+	c.Nodes = nodes
+	c.Metrics = stats.NewRegistry()
+	c.Tracer = h.Trace.Tracer(id)
 
 	// Kernel memory arena with fault-model access semantics.
 	arena := h.Space.Arena(id)
@@ -360,7 +391,6 @@ func (h *Hive) bootCell(id int) *Cell {
 			c.VM.DropPeerState(cell)
 		},
 	}
-	return c
 }
 
 // cellEngine returns the engine whose shard owns a cell's state: the cell's
@@ -490,17 +520,47 @@ func (c *Cell) shutdownKernel() {
 	c.Procs.KillAll()
 	c.EP.Shutdown()
 	c.Mon.Stop()
+	if c.ClockHand != nil {
+		// The paging daemon's writeback closure captures this cell; left
+		// running it would keep sweeping the dead incarnation's VM (and,
+		// after a microboot, mix old-VM sweeps into the fresh image).
+		c.ClockHand.Stop()
+	}
 }
 
-// Reboot restores a stopped cell to service with a fresh kernel state
-// (reintegration, §4.3). The hardware must already be repaired.
-func (c *Cell) Reboot() {
+// Microboot rebuilds a stopped cell's kernel in place on its repaired
+// nodes — the first half of reintegration (§4.3): hardware repaired, the
+// kernel arena emptied, every subsystem reconstructed on the same *Cell
+// the rest of the system holds, firewall write permissions re-opened to
+// the cell's own processors, and the RPC and process-table meshes rewired.
+// The cell does NOT return to the live set and its monitor stays stopped:
+// until a membership join round commits, the fresh image is untrusted —
+// peers only ever see it through the validated RPC boundary. The Rebooter
+// drives Microboot + join; Reboot below is the direct legacy path.
+func (c *Cell) Microboot() {
 	for _, n := range c.Nodes {
 		c.Hive.M.Nodes[n].Repair()
 	}
-	fresh := c.Hive.bootCell(c.ID)
-	*c = *fresh
+	c.Hive.Space.Arena(c.ID).Reset()
+	c.failed, c.corrupt = false, false
+	c.Hive.buildCell(c)
+	c.boots++
+	c.EP.SetIncarnation(c.boots)
 	rpc.Connect(endpoints(c.Hive.Cells)...)
+	tables := make([]*proc.Table, len(c.Hive.Cells))
+	for i, cc := range c.Hive.Cells {
+		tables[i] = cc.Procs
+	}
+	proc.ConnectTables(tables...)
+}
+
+// Reboot restores a stopped cell to service with a fresh kernel state
+// (reintegration, §4.3) without a join round — the synchronous path used
+// when the harness itself plays recovery master. The hardware is repaired
+// here; the full availability loop (microboot + coordinated join + warm-up)
+// lives in the Rebooter.
+func (c *Cell) Reboot() {
+	c.Microboot()
 	c.Hive.Coord.Reintegrate(c.ID)
 	c.Mon.Start()
 	for _, peer := range c.Hive.Cells {

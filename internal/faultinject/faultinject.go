@@ -70,6 +70,12 @@ func (s Scenario) String() string {
 		return "recovery coordinator fails mid-round (P, ext)"
 	case FaultStorm:
 		return "message fault storm (P, ext)"
+	case FaultDuringReintegration:
+		return "second fault during reintegration (P, ext)"
+	case CrashLoop:
+		return "crash loop bounded by rejoin backoff (P, ext)"
+	case RollingReboot:
+		return "rolling reboot of all cells (P, ext)"
 	default:
 		return "unknown"
 	}
@@ -111,6 +117,11 @@ type TrialResult struct {
 	TraceHash    uint64 // FNV-1a over the engine's dispatch trace (TrialOpts.TraceHash)
 	TraceJSON    []byte // Chrome trace-event export (TrialOpts.KeepTrace)
 	Notes        string
+
+	// Availability-loop metrics (reboot scenarios; Scenario.RebootLoop).
+	Rejoins   int     // committed rejoin passes
+	RestoreMs float64 // worst pass: death verdict → join-round commit (full capacity)
+	LoopP99Ms float64 // p99 probe-op latency (ms) while the loop ran
 
 	// Forensic capture (TrialOpts.KeepEvents): the merged typed event
 	// stream and per-cell ring-truncation counters the trace-based
@@ -214,6 +225,22 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 				{Prefix: "/data", Cell: 2},
 			}
 		}
+		if s.RebootLoop() {
+			// The availability loop is under test: a quick repair delay and
+			// tight backoff keep the whole fault → reboot → rejoin → full
+			// capacity loop inside the trial's 60 s window; CrashLoop's
+			// small attempt bound makes the give-up path reachable.
+			cfg.Reboot = core.RebootPolicy{
+				Enabled:     true,
+				Delay:       30 * sim.Millisecond,
+				BackoffBase: 20 * sim.Millisecond,
+				BackoffMax:  200 * sim.Millisecond,
+				MaxAttempts: 4,
+			}
+			if s == CrashLoop {
+				cfg.Reboot.MaxAttempts = crashLoopBound
+			}
+		}
 	})
 	res := &TrialResult{Scenario: s, Seed: seed, Cells: cells, TargetCell: 1 + trial%(cells-2)}
 	if s == CoordinatorDeath {
@@ -293,9 +320,18 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		injected = true
 		res.InjectedAt = h.Eng.Now()
 		switch {
-		case s.Hardware(), s == DoubleFault, s == CoordinatorDeath:
+		case s.Hardware(), s == DoubleFault, s == CoordinatorDeath, s.RebootLoop():
 			h.Cells[target].FailHardware()
 		}
+	}
+
+	// Reboot scenarios measure the loop's availability cost with a probe
+	// workload; rollingDone gates the settle condition for the one scenario
+	// whose injection driver spans most of the run.
+	var probe *latencyProbe
+	rollingDone := s != RollingReboot
+	if s.RebootLoop() {
+		probe = startLatencyProbe(h)
 	}
 
 	var wl *workload.Result
@@ -430,6 +466,73 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			})
 		}
 		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+
+	case FaultDuringReintegration:
+		// The target fails at a random time; while its reboot is being
+		// re-admitted, a second fault kills the joiner just after the join
+		// round's first barrier opens — with every member inside the round.
+		// The abort must not take a survivor with it and the controller's
+		// next attempt must restore full capacity.
+		at := sim.Time(500+rng.Intn(3000)) * sim.Millisecond
+		h.Eng.At(at, inject)
+		var rekilled bool
+		h.Coord.OnJoinBarrier1Open = func(joiner, coordinator int) {
+			if rekilled || joiner != target {
+				return
+			}
+			rekilled = true
+			h.Eng.After(2*sim.Millisecond, func() {
+				if c := h.Cells[joiner]; !c.Failed() {
+					c.FailHardware()
+				}
+			})
+		}
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+
+	case CrashLoop:
+		// Every join attempt is cut down just after barrier 1: the
+		// controller must hit its rejoin-backoff bound and give up rather
+		// than reboot forever.
+		at := sim.Time(500+rng.Intn(3000)) * sim.Millisecond
+		h.Eng.At(at, inject)
+		h.Coord.OnJoinBarrier1Open = func(joiner, coordinator int) {
+			if joiner != target {
+				return
+			}
+			h.Eng.After(2*sim.Millisecond, func() {
+				if c := h.Cells[joiner]; !c.Failed() {
+					c.FailHardware()
+				}
+			})
+		}
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+
+	case RollingReboot:
+		// Fail every fault-eligible cell in sequence (the file-server
+		// cells anchor the §7.4 correctness methodology and stay up),
+		// waiting for the loop to restore full capacity before each next
+		// kill. The driver runs on the global engine, where coordinator
+		// and controller state may be read directly.
+		first := sim.Time(500+rng.Intn(2000)) * sim.Millisecond
+		n := cells - 2 // victims rotate over cells 1..cells-2
+		h.Eng.Go("rolling.driver", func(t *sim.Task) {
+			t.Sleep(first)
+			for i := 0; i < n; i++ {
+				v := 1 + (trial+i)%n // pass 0 hits res.TargetCell
+				if i == 0 {
+					inject()
+				} else if !h.Cells[v].Failed() {
+					h.Cells[v].FailHardware()
+				}
+				deadline := t.Now() + 10*sim.Second
+				for t.Now() < deadline &&
+					!(h.Coord.LiveCount() == cells && h.Rebooter.Idle() && h.Coord.RecoveryIdle()) {
+					t.Sleep(5 * sim.Millisecond)
+				}
+			}
+			rollingDone = true
+		})
+		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
 	}
 
 	if !injected {
@@ -460,7 +563,42 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 		expectDead[target] = true
 	}
 
-	if len(expectDead) > 0 {
+	switch {
+	case s.RebootLoop():
+		// The availability loop must settle before anything is judged:
+		// the injection driver done, every controller task drained, no
+		// membership round in flight, and the live set at its expected
+		// final size (full capacity, except past CrashLoop's bound).
+		want := len(h.Cells) - len(expectDead)
+		h.RunUntil(func() bool {
+			return rollingDone && h.Coord.LiveCount() == want &&
+				h.Rebooter.Idle() && h.Coord.RecoveryIdle() &&
+				h.Coord.RecoveryEndAt > res.InjectedAt
+		}, h.Eng.Now()+15*sim.Second)
+
+		if h.Coord.LastDetectAt > res.InjectedAt {
+			res.Detected = true
+			if s != RollingReboot {
+				// Rolling trials span several injections; a single
+				// last-detect minus first-inject latency would be
+				// meaningless, so only the single-victim rows report it.
+				res.DetectMs = (h.Coord.LastDetectAt - res.InjectedAt).Millis()
+				if h.Coord.RecoveryEndAt > h.Coord.FirstDetectAt {
+					res.RecoveryMs = (h.Coord.RecoveryEndAt - h.Coord.FirstDetectAt).Millis()
+				}
+			}
+		}
+		for _, rec := range h.Rebooter.Records {
+			if rec.Restored() {
+				res.Rejoins++
+				if ms := (rec.RejoinAt - rec.DeadAt).Millis(); ms > res.RestoreMs {
+					res.RestoreMs = ms
+				}
+			}
+		}
+		res.LoopP99Ms = probe.stopAndP99()
+
+	case len(expectDead) > 0:
 		// Let detection and recovery finish.
 		want := len(h.Cells) - len(expectDead)
 		h.RunUntil(func() bool {
@@ -478,7 +616,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 				res.RecoveryMs = (h.Coord.RecoveryEndAt - h.Coord.FirstDetectAt).Millis()
 			}
 		}
-	} else {
+	default:
 		// Message faults kill nobody: detection means the messaging
 		// layer visibly observed and absorbed the fault (checksum
 		// discard, retransmit, dedup) while the workload ran.
@@ -497,13 +635,47 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			res.Notes += fmt.Sprintf("cell %d collaterally failed;", c.ID)
 		}
 	}
-	if len(expectDead) == 0 && (!wl.Done || len(wl.Errors) > 0) {
+	if len(expectDead) == 0 && !s.RebootLoop() && (!wl.Done || len(wl.Errors) > 0) {
+		// Message faults never kill a process, so the workload must have
+		// finished cleanly. Reboot trials do kill cells (jobs on a victim
+		// vanish — an availability loss §2 permits), so they are exempt.
 		res.Contained = false
 		res.Notes += fmt.Sprintf("workload under message faults: done=%v errs=%v;", wl.Done, wl.Errors)
 	}
 	if s == CoordinatorDeath && h.Coord.RoundRestarts == 0 {
 		res.Contained = false
 		res.Notes += "no round restart after coordinator death;"
+	}
+	if s.RebootLoop() {
+		// The loop itself must have done its job, not just left the right
+		// cells alive.
+		switch s {
+		case FaultDuringReintegration:
+			if res.Rejoins != 1 || h.Rebooter.FullCapacityAt == 0 {
+				res.Contained = false
+				res.Notes += fmt.Sprintf("full capacity not restored (rejoins=%d);", res.Rejoins)
+			} else if h.Rebooter.Records[0].Attempts < 2 {
+				res.Contained = false
+				res.Notes += "mid-join fault cost no extra attempt — injection missed the round;"
+			}
+		case CrashLoop:
+			bounded := false
+			for _, rec := range h.Rebooter.Records {
+				if rec.Cell == target && rec.GaveUp && rec.Attempts == crashLoopBound {
+					bounded = true
+				}
+			}
+			if !bounded {
+				res.Contained = false
+				res.Notes += fmt.Sprintf("crash loop not bounded: records=%+v;", h.Rebooter.Records)
+			}
+		case RollingReboot:
+			if res.Rejoins != len(h.Cells)-2 || h.Rebooter.FullCapacityAt == 0 {
+				res.Contained = false
+				res.Notes += fmt.Sprintf("rolling reboot restored %d/%d cells;",
+					res.Rejoins, len(h.Cells)-2)
+			}
+		}
 	}
 
 	// Data integrity: no corrupt data visible in surviving outputs.
@@ -669,9 +841,18 @@ type CampaignRow struct {
 	P99Recov  float64
 	Failures  []string
 
-	// Detect and Recov are the full latency distributions (ms).
-	Detect *stats.HistSnapshot `json:",omitempty"`
-	Recov  *stats.HistSnapshot `json:",omitempty"`
+	// Availability-loop columns (reboot scenarios only): time from death
+	// verdict to restored full capacity, and the p99 probe-op latency the
+	// workload saw while the loop ran.
+	AvgRestore float64 `json:",omitempty"`
+	P99Restore float64 `json:",omitempty"`
+	AvgLoopP99 float64 `json:",omitempty"`
+
+	// Detect and Recov are the full latency distributions (ms); Restore is
+	// the availability-loop restoration distribution.
+	Detect  *stats.HistSnapshot `json:",omitempty"`
+	Recov   *stats.HistSnapshot `json:",omitempty"`
+	Restore *stats.HistSnapshot `json:",omitempty"`
 }
 
 // RunScenario runs `tests` trials of a scenario and aggregates. Trials fan
@@ -709,7 +890,9 @@ func RunScenarioOptsWith(r *parallel.Runner, s Scenario, tests int, opts TrialOp
 // the row carries means, maxima, and tail percentiles from one accumulator.
 func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 	row := &CampaignRow{Scenario: s, Name: s.String(), Tests: len(trials), AllOK: true}
-	var hd, hr stats.Histogram
+	var hd, hr, hres stats.Histogram
+	var loopSum float64
+	loopN := 0
 	for i, tr := range trials {
 		if !tr.OK() {
 			row.AllOK = false
@@ -719,9 +902,17 @@ func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 		}
 		// Message-fault scenarios kill nobody, so they have no recovery
 		// latency to aggregate; only death scenarios feed the histograms.
-		if tr.Detected && tr.Scenario.ExpectDeaths() > 0 {
+		// (RollingReboot reports no single detect latency — see RunTrialOpts.)
+		if tr.Detected && tr.DetectMs > 0 {
 			hd.Observe(tr.DetectMs)
 			hr.Observe(tr.RecoveryMs)
+		}
+		if tr.RestoreMs > 0 {
+			hres.Observe(tr.RestoreMs)
+		}
+		if tr.Scenario.RebootLoop() {
+			loopSum += tr.LoopP99Ms
+			loopN++
 		}
 	}
 	if hd.N() > 0 {
@@ -734,6 +925,15 @@ func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 		row.P99Recov = hr.Quantile(0.99)
 		ds, rs := hd.Snapshot(), hr.Snapshot()
 		row.Detect, row.Recov = &ds, &rs
+	}
+	if hres.N() > 0 {
+		row.AvgRestore = hres.Mean()
+		row.P99Restore = hres.Quantile(0.99)
+		res := hres.Snapshot()
+		row.Restore = &res
+	}
+	if loopN > 0 {
+		row.AvgLoopP99 = loopSum / float64(loopN)
 	}
 	return row
 }

@@ -12,9 +12,11 @@ package faultinject
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/proc"
 	"repro/internal/rpc"
 	"repro/internal/sim"
 )
@@ -42,10 +44,35 @@ const (
 	// FaultStorm mixes drops, duplicates, delays, and corruption over a
 	// 25 ms window of the whole message stream (pmake).
 	FaultStorm
+	// FaultDuringReintegration closes the availability loop and then
+	// attacks it: a cell fails at a random time, the reboot controller
+	// microboots it, and a second fault kills the joiner just after the
+	// join round's first barrier opens — the round must abort cleanly
+	// without taking a survivor with it, and the retry must restore full
+	// capacity (pmake).
+	FaultDuringReintegration
+	// CrashLoop cuts the rebooted cell down on every join attempt; the
+	// controller must stop at its rejoin-backoff bound and give up,
+	// leaving the survivors intact (pmake).
+	CrashLoop
+	// RollingReboot fails every fault-eligible cell in sequence under
+	// load, waiting for each to reboot, rejoin, and restore full capacity
+	// before the next kill (pmake).
+	RollingReboot
 )
 
 // NumScenarios counts all campaign scenarios, paper rows and extensions.
-const NumScenarios = int(FaultStorm) + 1
+const NumScenarios = int(RollingReboot) + 1
+
+// crashLoopBound is the rejoin-attempt bound CrashLoop trials configure and
+// then verify: the controller must give up after exactly this many attempts.
+const crashLoopBound = 3
+
+// RebootLoop reports whether the scenario exercises the availability loop:
+// the trial boots with the reboot controller enabled, and cell deaths are
+// expected to heal (except past CrashLoop's give-up bound) rather than
+// persist to the end of the run.
+func (s Scenario) RebootLoop() bool { return s >= FaultDuringReintegration }
 
 // Extension reports whether the scenario extends the paper's Table 7.4
 // (the v2 adversarial rows) rather than reproducing one of its rows.
@@ -62,15 +89,21 @@ func (s Scenario) DefaultTests() int {
 		return 10
 	case DoubleFault, CoordinatorDeath, FaultStorm:
 		return 6
+	case FaultDuringReintegration, CrashLoop:
+		return 6
+	case RollingReboot:
+		return 4
 	}
 	return 0
 }
 
-// ExpectDeaths returns how many cells the scenario is expected to kill:
-// message faults must kill nobody; the recovery-under-fault rows kill two.
+// ExpectDeaths returns how many cells the scenario is expected to leave
+// dead at the end of the run: message faults must kill nobody; the
+// recovery-under-fault rows kill two; the availability-loop rows heal their
+// deaths (only CrashLoop's give-up bound leaves its victim down).
 func (s Scenario) ExpectDeaths() int {
 	switch s {
-	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm:
+	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm, FaultDuringReintegration, RollingReboot:
 		return 0
 	case DoubleFault, CoordinatorDeath:
 		return 2
@@ -327,6 +360,53 @@ func (in *msgInjector) stormDecide(msg *machine.SIPSMsg) machine.MsgFaultDecisio
 		}
 	}
 	return machine.MsgFaultDecision{}
+}
+
+// latencyProbe measures user-visible operation latency through the
+// availability loop: a probe process on cell 0 (a file server, never a
+// victim) computes a fixed slice every few milliseconds and records each
+// op's elapsed virtual time. Recovery rounds freeze user compute (§3.1), so
+// the probe's tail — the trial's LoopP99Ms — directly exposes what the
+// fault → reboot → rejoin loop cost the workload.
+type latencyProbe struct {
+	samples []float64 // per-op latency, ms
+	stop    bool
+}
+
+// probeOp/probePeriod shape the probe stream: ~200µs of work every 2ms
+// yields a few thousand samples over a trial, enough for a stable p99.
+const (
+	probeOp     = 200 * sim.Microsecond
+	probePeriod = 2 * sim.Millisecond
+)
+
+// startLatencyProbe spawns the probe on cell 0. The sample slice is only
+// ever touched by the probe task (cell 0's shard) while the engine runs,
+// and only read by the harness when it is stopped — race-free and
+// deterministic at any worker count.
+func startLatencyProbe(h *core.Hive) *latencyProbe {
+	pr := &latencyProbe{}
+	h.Cells[0].Procs.Spawn("probe", 903, func(p *proc.Process, t *sim.Task) {
+		for !pr.stop {
+			t0 := t.Now()
+			p.Compute(t, probeOp)
+			pr.samples = append(pr.samples, (t.Now() - t0).Millis())
+			t.Sleep(probePeriod)
+		}
+	})
+	return pr
+}
+
+// stopAndP99 ends the probe (it exits at its next iteration) and returns
+// the p99 of the samples taken so far.
+func (pr *latencyProbe) stopAndP99() float64 {
+	pr.stop = true
+	if len(pr.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), pr.samples...)
+	sort.Float64s(s)
+	return s[(len(s)-1)*99/100]
 }
 
 // rpcCounterTotal sums one endpoint counter across every cell.

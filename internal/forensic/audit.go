@@ -18,7 +18,8 @@ type Verdict struct {
 	Contained bool     `json:"contained"`
 	Injected  []int    `json:"injected_cells"` // cells with injected faults
 	Deaths    []int    `json:"dead_cells"`
-	Wire      []string `json:"wire_faults"` // injected wire-fault kinds
+	Rejoined  []int    `json:"rejoined_cells,omitempty"` // readmitted by a join round
+	Wire      []string `json:"wire_faults"`              // injected wire-fault kinds
 	Escapes   []string `json:"escapes,omitempty"`
 	Evidence  []string `json:"evidence"` // what each verdict bit rests on
 	Truncated bool     `json:"truncated"`
@@ -28,10 +29,14 @@ type Verdict struct {
 //
 // Cell-fault runs (≥1 Inject event):
 //   - contained ⟺ the dead set equals the injected set exactly (every
-//     injected cell died, nobody else did) and no edge escaped. A run
-//     that also restarted a recovery round after its coordinator died
-//     (two injected faults, one of them cell 0) must show the
-//     RoundRestart evidence, mirroring faultinject's extra check.
+//     injected cell died, nobody else did), no edge escaped, and the set
+//     of cells still dead when the trace ends equals the injected cells
+//     that were never readmitted by a join round (the availability loop
+//     must close over every rejoined cell, and a cell may only stay dead
+//     if its reboot gave up or never committed). A run that also
+//     restarted a recovery round after its coordinator died (two
+//     injected faults, one of them cell 0) must show the RoundRestart
+//     evidence, mirroring faultinject's extra check.
 //   - detected ⟺ every injected cell has post-injection membership
 //     evidence about it (an alert broadcast or an agreement vote).
 //
@@ -80,15 +85,30 @@ func Audit(g *Graph, events []trace.Event) Verdict {
 }
 
 func (v *Verdict) auditCellFaults(g *Graph, events []trace.Event, injectAt map[int]sim.Time) {
-	// Containment: dead set == injected set, no escapes.
-	v.Contained = len(v.Escapes) == 0 && equalInts(v.Deaths, v.Injected)
+	// Containment: dead set == injected set, no escapes, and every cell
+	// still dead at end of trace is an injected cell that never rejoined.
+	v.Rejoined = g.RejoinCells()
+	final := g.FinalDeathCells()
+	expectFinal := subtractInts(v.Injected, v.Rejoined)
+	v.Contained = len(v.Escapes) == 0 && equalInts(v.Deaths, v.Injected) &&
+		equalInts(final, expectFinal)
 	switch {
 	case len(v.Escapes) > 0:
 		v.note("containment FAILED: %d escape(s)", len(v.Escapes))
 	case !equalInts(v.Deaths, v.Injected):
 		v.note("containment FAILED: injected %v but dead %v", v.Injected, v.Deaths)
+	case !equalInts(final, expectFinal):
+		v.note("containment FAILED: cells %v still dead at end of trace, expected %v (injected minus rejoined)",
+			final, expectFinal)
 	default:
 		v.note("dead set %v equals injected set; all edges contained", v.Deaths)
+	}
+	if len(v.Rejoined) > 0 {
+		v.note("cells %v rebooted and rejoined (%d microboot stage(s), %d join commit(s)); a later death would be a new fault, not an escape",
+			v.Rejoined, len(g.Reboots), len(g.Rejoins))
+	} else if len(g.Reboots) > 0 {
+		v.note("%d microboot stage(s) recorded but no join round committed (bounded crash loop)",
+			len(g.Reboots))
 	}
 
 	// A coordinator-death run (two faults, one of them the recovery
@@ -214,6 +234,18 @@ func equalInts(a, b []int) bool {
 		}
 	}
 	return true
+}
+
+// subtractInts returns the elements of a not present in b, ascending.
+func subtractInts(a, b []int) []int {
+	var out []int
+	for _, x := range a {
+		if !containsInt(b, x) {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 func containsInt(xs []int, x int) bool {

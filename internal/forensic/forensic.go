@@ -79,10 +79,14 @@ func spanSubsystem(e trace.Event) string {
 	return SubOther
 }
 
-// phaseSubsystem attributes a named phase span: the recovery phases are
-// membership work; anything else keeps its own prefix or falls to other.
+// phaseSubsystem attributes a named phase span: the recovery and join
+// rounds are membership work; anything else keeps its own prefix or falls
+// to other.
 func phaseSubsystem(name string) string {
 	if len(name) >= 9 && name[:9] == "recovery:" {
+		return SubMembership
+	}
+	if len(name) >= 5 && name[:5] == "join:" {
 		return SubMembership
 	}
 	return SubOther
@@ -92,7 +96,8 @@ func phaseSubsystem(name string) string {
 func instantSubsystem(e trace.Event) string {
 	switch e.Kind {
 	case trace.Hint, trace.Alert, trace.Vote, trace.Heartbeat, trace.RoundRestart,
-		trace.Panic, trace.Kill, trace.Discard, trace.Inject:
+		trace.Panic, trace.Kill, trace.Discard, trace.Inject,
+		trace.Reboot, trace.Rejoin:
 		return SubMembership
 	case trace.SIPS, trace.MsgDrop, trace.MsgDup, trace.MsgCorrupt, trace.MsgDelay,
 		trace.RPCReply, trace.RPCTimeout, trace.RPCRetry, trace.RPCDedup:

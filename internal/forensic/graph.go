@@ -68,6 +68,25 @@ type Death struct {
 	At       sim.Time `json:"at"`
 	Reason   string   `json:"reason"`
 	Injected bool     `json:"injected"` // had an injected fault before dying
+	Healed   bool     `json:"healed"`   // a later join round readmitted the cell
+}
+
+// Reboot is one microboot stage located in the trace: a fresh cell image
+// brought up on a dead cell's nodes (or the bounded give-up after the
+// rejoin backoff is exhausted — distinguishable by Stage).
+type Reboot struct {
+	Cell    int      `json:"cell"`
+	Attempt int      `json:"attempt"`
+	At      sim.Time `json:"at"`
+	Stage   string   `json:"stage"`
+}
+
+// Rejoin is one committed join round: the coordinator readmitted the
+// rebooted cell to the live set at full trust.
+type Rejoin struct {
+	Cell        int      `json:"cell"`
+	Coordinator int      `json:"coordinator"`
+	At          sim.Time `json:"at"`
 }
 
 // WireFault aggregates one kind of injected wire fault.
@@ -102,6 +121,8 @@ type Graph struct {
 	Events     int
 	Faults     []Fault
 	Deaths     []Death
+	Reboots    []Reboot
+	Rejoins    []Rejoin
 	WireFaults []WireFault
 	Edges      []Edge
 	Escapes    []string
@@ -116,6 +137,24 @@ func (g *Graph) FaultCells() []int { return distinctCells(g.Faults, func(f Fault
 
 // DeathCells returns the distinct dead cells, ascending.
 func (g *Graph) DeathCells() []int { return distinctCells(g.Deaths, func(d Death) int { return d.Cell }) }
+
+// RejoinCells returns the distinct cells readmitted by a join round,
+// ascending.
+func (g *Graph) RejoinCells() []int {
+	return distinctCells(g.Rejoins, func(r Rejoin) int { return r.Cell })
+}
+
+// FinalDeathCells returns the distinct cells still dead when the trace
+// ends: they died and no later join round readmitted them.
+func (g *Graph) FinalDeathCells() []int {
+	var unhealed []Death
+	for _, d := range g.Deaths {
+		if !d.Healed {
+			unhealed = append(unhealed, d)
+		}
+	}
+	return distinctCells(unhealed, func(d Death) int { return d.Cell })
+}
 
 func distinctCells[T any](xs []T, cell func(T) int) []int {
 	seen := map[int]bool{}
@@ -245,6 +284,42 @@ func BuildGraph(events []trace.Event, dropped []trace.DropCount) *Graph {
 				taint(e.Cell, e.At) // its own effects are now suspect too
 			}
 			continue
+		case trace.Reboot:
+			g.Reboots = append(g.Reboots, Reboot{
+				Cell: int(e.A), Attempt: int(e.B), At: e.At, Stage: e.S})
+			continue
+		case trace.Rejoin:
+			// A committed join round readmits the cell at full trust: its
+			// image is fresh (microboot) and the round's validate barrier
+			// vouched for it, so its taint is lifted. A later death of this
+			// cell is a NEW fault (FailHardware re-emits Inject), not an
+			// escape of the old one.
+			joiner := int(e.A)
+			g.Rejoins = append(g.Rejoins, Rejoin{
+				Cell: joiner, Coordinator: int(e.B), At: e.At})
+			if _, ok := taintAt[joiner]; ok {
+				delete(taintAt, joiner)
+				for i, c := range taintedCells {
+					if c == joiner {
+						taintedCells = append(taintedCells[:i], taintedCells[i+1:]...)
+						break
+					}
+				}
+			}
+			// Causal contacts from before the reboot are also void — both
+			// the joiner's own record and entries blaming the joiner.
+			delete(lastTouch, joiner)
+			var blamed []int
+			for c, f := range lastTouch {
+				if f == joiner {
+					blamed = append(blamed, c)
+				}
+			}
+			sort.Ints(blamed)
+			for _, c := range blamed {
+				delete(lastTouch, c)
+			}
+			continue
 		case trace.MsgDrop:
 			addWire("drop", e.At)
 			addEdge(e.Cell, -1, Absorbed, "retry", e.At)
@@ -323,6 +398,18 @@ func BuildGraph(events []trace.Event, dropped []trace.DropCount) *Graph {
 			// permission narrowing is routine during normal operation.
 			if recoveryOpen > 0 {
 				addEdge(soleTainted(), e.Cell, Blocked, "firewall", e.At)
+			}
+		}
+	}
+
+	// A death is healed when a later join round readmitted the same cell:
+	// the availability loop closed over it.
+	for i := range g.Deaths {
+		d := &g.Deaths[i]
+		for _, r := range g.Rejoins {
+			if r.Cell == d.Cell && r.At > d.At {
+				d.Healed = true
+				break
 			}
 		}
 	}

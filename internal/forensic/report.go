@@ -85,7 +85,24 @@ func (r *Report) Format(topN int) string {
 			if !d.Injected {
 				tag = "NOT INJECTED"
 			}
+			if d.Healed {
+				tag += ", later rejoined"
+			}
 			fmt.Fprintf(&b, "  %s at %v (%s): %s\n", cellName(d.Cell), d.At, tag, d.Reason)
+		}
+	}
+	if len(g.Reboots) > 0 {
+		b.WriteString("availability loop:\n")
+		for _, rb := range g.Reboots {
+			fmt.Fprintf(&b, "  %s reboot attempt %d at %v: %s\n",
+				cellName(rb.Cell), rb.Attempt, rb.At, rb.Stage)
+		}
+		for _, rj := range g.Rejoins {
+			fmt.Fprintf(&b, "  %s REJOINED at %v (join round led by %s)\n",
+				cellName(rj.Cell), rj.At, cellName(rj.Coordinator))
+		}
+		if still := g.FinalDeathCells(); len(still) > 0 {
+			fmt.Fprintf(&b, "  still dead at end of trace: %v\n", still)
 		}
 	}
 	b.WriteString("\n")

@@ -115,6 +115,9 @@ type FS struct {
 	byPath   map[string]FileID
 	nextID   FileID
 	nextDisk int64
+	// striped remembers each striped file's cell list so the components
+	// homed on a rebooted cell can be re-created at rejoin (RestripeFor).
+	striped map[string][]int
 
 	Metrics *stats.Registry
 }

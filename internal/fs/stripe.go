@@ -2,6 +2,7 @@ package fs
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -36,7 +37,9 @@ type StripedHandle struct {
 }
 
 // CreateStriped creates a striped file across the given cells and returns
-// an open handle. Component files are created at each stripe cell.
+// an open handle. Component files are created at each stripe cell. The
+// cell list is remembered so a rejoining cell's components can be
+// re-created after a reboot (RestripeFor).
 func (f *FS) CreateStriped(t *sim.Task, path string, cells []int) (*StripedHandle, error) {
 	if len(cells) == 0 {
 		return nil, ErrBadArgs
@@ -49,8 +52,44 @@ func (f *FS) CreateStriped(t *sim.Task, path string, cells []int) (*StripedHandl
 		}
 		sh.comps = append(sh.comps, h)
 	}
+	if f.striped == nil {
+		f.striped = make(map[string][]int)
+	}
+	f.striped[path] = append([]int(nil), cells...)
 	f.Metrics.Counter("fs.striped_creates").Inc()
 	return sh, nil
+}
+
+// RestripeFor re-creates this cell's recorded striped components that live
+// on a rejoined cell: the fresh image booted with an empty namespace, so
+// every stripe homed there is gone (striping carries no redundancy — the
+// data is lost; what is restored is the *placement*, so new writes stripe
+// across full capacity again and opens stop failing). Returns the number
+// of components re-created.
+func (f *FS) RestripeFor(t *sim.Task, cell int) int {
+	if len(f.striped) == 0 {
+		return 0
+	}
+	paths := make([]string, 0, len(f.striped))
+	for p := range f.striped {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	restored := 0
+	for _, p := range paths {
+		for i, c := range f.striped[p] {
+			if c != cell {
+				continue
+			}
+			if _, err := f.createAt(t, compPath(p, i), cell); err == nil {
+				restored++
+			}
+		}
+	}
+	if restored > 0 {
+		f.Metrics.Counter("fs.stripes_restored").Add(int64(restored))
+	}
+	return restored
 }
 
 // OpenStriped opens an existing striped file (the caller supplies the same

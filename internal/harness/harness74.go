@@ -60,6 +60,62 @@ func RunTable74(scale float64) []*Table74Row {
 	return rows
 }
 
+// RunRebootLoop executes the availability-loop campaign: the three reboot
+// scenarios that close the fault → reboot → rejoin → full-capacity loop.
+// scale ∈ (0,1] shrinks the trial counts for quick runs. The aggregates
+// carry time-to-restored-full-capacity (AvgRestore/P99Restore) and the p99
+// workload-op latency measured while the loop ran (AvgLoopP99).
+func RunRebootLoop(scale float64) []*faultinject.CampaignRow {
+	scenarios := []faultinject.Scenario{
+		faultinject.FaultDuringReintegration,
+		faultinject.CrashLoop,
+		faultinject.RollingReboot,
+	}
+	counts := make([]int, len(scenarios))
+	total := 0
+	for i, s := range scenarios {
+		n := int(float64(s.DefaultTests())*scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		counts[i] = n
+		total += n
+	}
+	trials := parallel.Map(parallel.Default(), total, func(i int) *faultinject.TrialResult {
+		for si, n := range counts {
+			if i < n {
+				return faultinject.RunTrial(scenarios[si], i)
+			}
+			i -= n
+		}
+		panic("unreachable")
+	})
+	var rows []*faultinject.CampaignRow
+	off := 0
+	for si, s := range scenarios {
+		rows = append(rows, faultinject.Aggregate(s, trials[off:off+counts[si]]))
+		off += counts[si]
+	}
+	return rows
+}
+
+// FormatRebootLoop renders the availability-loop campaign table.
+func FormatRebootLoop(rows []*faultinject.CampaignRow) string {
+	tb := stats.NewTable("availability loop — reboot, rejoin, restore",
+		"scenario", "trials", "all ok", "avg restore (ms)", "p99 restore (ms)", "loop p99 op (ms)")
+	for _, r := range rows {
+		restore, p99 := FormatMs(r.AvgRestore), FormatMs(r.P99Restore)
+		if r.AvgRestore == 0 {
+			// The bounded crash loop never restores; the row carries only
+			// the during-loop latency.
+			restore, p99 = "—", "—"
+		}
+		tb.AddRow(r.Name, fmt.Sprintf("%d", r.Tests), fmt.Sprint(r.AllOK),
+			restore, p99, FormatMs(r.AvgLoopP99))
+	}
+	return tb.String()
+}
+
 // Hardware81 exercises every Table 8.1 hardware feature and reports which
 // are functional.
 type Hardware81 struct {

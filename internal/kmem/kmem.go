@@ -90,6 +90,17 @@ func NewArena(cell int) *Arena {
 // Cell returns the owning cell number.
 func (a *Arena) Cell() int { return a.cell }
 
+// Reset discards every object and returns the arena to its freshly-booted
+// state, keeping the *Arena pointer itself valid: peers hold the pointer
+// through Space, so a cell microboot must empty the heap in place rather
+// than swap in a new arena. The Accessible gate is left for the caller to
+// rebind (the fresh cell image installs its own).
+func (a *Arena) Reset() {
+	a.objects = make(map[uint64]*object)
+	a.nextOff = 64
+	a.allocs, a.frees = 0, 0
+}
+
 // Alloc allocates an object of nwords words with the given type tag and
 // returns its address. Objects are 64-byte aligned like real allocations.
 func (a *Arena) Alloc(tag TypeTag, nwords int) Addr {

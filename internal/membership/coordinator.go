@@ -2,6 +2,8 @@ package membership
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -29,6 +31,10 @@ type Coordinator struct {
 	// the moment the first member crosses barrier 1 — the window between
 	// the two recovery barriers the v2 campaign injects faults into.
 	OnBarrier1Open func(suspect, coordinator int)
+	// OnJoinBarrier1Open is the join-round analogue: it fires once per
+	// join round when the first member crosses barrier 1 — the window the
+	// reintegration fault scenarios inject into.
+	OnJoinBarrier1Open func(joiner, coordinator int)
 
 	cells      int
 	nodesByCel [][]int
@@ -42,6 +48,12 @@ type Coordinator struct {
 	votedDown  map[int]map[int]int // accuser -> suspect -> times voted down
 	forcedDead map[int]bool
 
+	// pendingJoins holds the commit future of each cell whose reboot
+	// controller has requested re-admission; resolved (true = committed,
+	// false = aborted) exactly once per request.
+	pendingJoins map[int]*sim.Future
+	joinSeq      int
+
 	// Measurements for the Table 7.4 harness.
 	LastDetectAt   sim.Time // latest "entered recovery" time of any cell
 	FirstDetectAt  sim.Time
@@ -53,6 +65,12 @@ type Coordinator struct {
 	// RoundRestarts counts rounds whose coordinator died mid-round and
 	// were deterministically restarted under the next live member.
 	RoundRestarts int
+	// JoinRounds counts join rounds run; Rejoins lists the cells whose
+	// join round committed, in commit order; LastRejoinAt is the latest
+	// commit time (the capacity-restoration measurement's raw input).
+	JoinRounds   int
+	Rejoins      []int
+	LastRejoinAt sim.Time
 }
 
 // round is one agreement/recovery round.
@@ -84,6 +102,14 @@ type round struct {
 	b1Fired     bool // OnBarrier1Open fired
 
 	corruptAccuser int // -1, or a cell the round branded corrupt
+
+	// join marks a join round: suspect is the joiner (not a member), the
+	// vote is about reachability of the fresh image, and the verdict set
+	// {joiner} means "admit". aborted is set when the joiner dies
+	// mid-round; committed guards the one-shot commit.
+	join      bool
+	aborted   bool
+	committed bool
 }
 
 // NewCoordinator builds the coordinator for `cells` cells, each owning the
@@ -95,9 +121,10 @@ func NewCoordinator(cells int, nodesByCell [][]int, mode AgreementMode) *Coordin
 		nodesByCel: nodesByCell,
 		live:       make(map[int]bool),
 		monitors:   make(map[int]*Monitor),
-		completed:  make(map[string]bool),
-		votedDown:  make(map[int]map[int]int),
-		forcedDead: make(map[int]bool),
+		completed:    make(map[string]bool),
+		votedDown:    make(map[int]map[int]int),
+		forcedDead:   make(map[int]bool),
+		pendingJoins: make(map[int]*sim.Future),
 	}
 	for i := 0; i < cells; i++ {
 		c.live[i] = true
@@ -204,6 +231,27 @@ func (c *Coordinator) ensureRound(alert *alertMsg, cellID int) (*round, bool) {
 	if ms := sortedCells(r.members); len(ms) > 0 {
 		r.coordinator = ms[0]
 	}
+	// Hand the alert to any enrolled member that has not heard it. The
+	// accuser's cast went to the live set of cast time — a cell that
+	// rejoined between the cast and round creation is a member now but was
+	// not a recipient then, and a member without the alert never arrives
+	// at the barriers (every survivor would hang). The direct insertion
+	// runs in the round creator's global section, so it is deterministic;
+	// members the in-flight cast still reaches later just see a duplicate
+	// accusation, which the completed table absorbs.
+	for _, m := range sortedCells(r.members) {
+		if m == cellID {
+			continue
+		}
+		if mon := c.monitors[m]; mon != nil && !mon.dead && !mon.alerting[alert.Suspect] {
+			mon.alerting[alert.Suspect] = true
+			// The push must come from the member's own shard: a direct
+			// push here would wake its recovery loop on the wrong engine.
+			relay := mon
+			relay.eng().Go(fmt.Sprintf("cell%d.alertrelay", relay.CellID),
+				func(rt *sim.Task) { relay.alerts.Push(alert) })
+		}
+	}
 	r.barrier1 = sim.NewBarrier(len(r.members))
 	r.barrier2 = sim.NewBarrier(len(r.members))
 	c.cur = r
@@ -257,6 +305,50 @@ func (c *Coordinator) agree(t *sim.Task, mon *Monitor, r *round) map[int]bool {
 	var v any
 	mon.global(t, func() { v, _ = r.verdict.Wait(t) })
 	return v.(map[int]bool)
+}
+
+// agreeJoin resolves the join round's admit/abort verdict for one member
+// and reports whether the joiner was admitted. Oracle mode asks ground
+// truth whether the fresh image is healthy (as it does for deaths); Vote
+// mode probes the joiner — real RPC traffic against its endpoint, which
+// stays untrusted until the commit.
+func (c *Coordinator) agreeJoin(t *sim.Task, mon *Monitor, r *round) bool {
+	needVote := false
+	mon.global(t, func() {
+		if r.verdict.Ready() {
+			return
+		}
+		switch {
+		case c.Mode == Oracle:
+			admit := true
+			if c.OracleFailed != nil && c.OracleFailed(r.suspect) {
+				admit = false
+			}
+			c.applyJoinVerdict(r, admit)
+		default:
+			_, voted := r.votes[mon.CellID]
+			needVote = !voted
+		}
+	})
+	if needVote {
+		alive := mon.probe(t, r.suspect)
+		mon.global(t, func() {
+			if _, voted := r.votes[mon.CellID]; voted {
+				return
+			}
+			r.votes[mon.CellID] = !alive
+			dead := int64(0)
+			if !alive {
+				dead = 1
+				r.deadVotes++
+			}
+			mon.Tracer.Emit(t.Now(), trace.Vote, int64(r.suspect), dead, "join")
+			c.tallyJoinVotes(r)
+		})
+	}
+	var v any
+	mon.global(t, func() { v, _ = r.verdict.Wait(t) })
+	return v.(map[int]bool)[r.suspect]
 }
 
 // tallyVotes resolves the verdict once every (still-live) member has
@@ -360,6 +452,12 @@ func (c *Coordinator) checkRoundDone(r *round) {
 		c.cur = nil
 		c.recoveryActive = 0
 	}
+	if r.join {
+		// Backstop: a join round that drained without committing (e.g.
+		// every member died) must still resolve its requester, or the
+		// reboot controller would wait forever. No-op after commitJoin.
+		c.resolveJoin(r, false)
+	}
 }
 
 // CellDiedMidRound handles a member cell dying while a round is in flight
@@ -369,7 +467,22 @@ func (c *Coordinator) checkRoundDone(r *round) {
 // round deterministically restarts under the next live member.
 func (c *Coordinator) CellDiedMidRound(cell int) {
 	r := c.cur
-	if r == nil || !r.members[cell] {
+	if r == nil {
+		return
+	}
+	if r.join && cell == r.suspect && !c.live[cell] {
+		// The joiner itself died mid-join (a second fault landed during
+		// reintegration). The members are not waiting on it — it holds no
+		// barrier slot — so the round drains normally; the commit is
+		// cancelled and the requester told to retry.
+		r.aborted = true
+		if !r.verdict.Ready() {
+			c.applyJoinVerdict(r, false)
+		}
+		c.checkRoundDone(r)
+		return
+	}
+	if !r.members[cell] {
 		return
 	}
 	delete(r.members, cell)
@@ -385,7 +498,11 @@ func (c *Coordinator) CellDiedMidRound(cell int) {
 		r.deadVotes--
 	}
 	delete(r.votes, cell)
-	c.tallyVotes(r)
+	if r.join {
+		c.tallyJoinVotes(r)
+	} else {
+		c.tallyVotes(r)
+	}
 	if cell == r.coordinator {
 		if ms := sortedCells(r.members); len(ms) > 0 {
 			r.coordinator = ms[0]
@@ -404,14 +521,204 @@ func (c *Coordinator) CellDiedMidRound(cell int) {
 // live set shrinks at verdict time, before the recovery phases run.
 func (c *Coordinator) RecoveryIdle() bool { return c.cur == nil }
 
-// reintegrate returns a repaired cell to the live set.
+// reintegrate returns a repaired cell to the live set and scrubs every
+// piece of survivor bookkeeping that went stale while it was dead. The
+// round machinery was written when the live set only shrank; a cell coming
+// *back* invalidates three things:
+//
+//   - corrupt-accuser strikes by or about the old incarnation (votedDown):
+//     the fresh image never alerted anyone, and strikes about it describe
+//     a kernel that no longer exists;
+//   - completed-round keys of the old incarnation's alerts ("accuser:seq"):
+//     the fresh monitor's sequence numbers restart at 1, so a stale key
+//     would silently swallow its first alerts;
+//   - peer monitors' per-cell caches (lastClock, alerting): a stale clock
+//     value can false-hint against the fresh image's restarted clock, and
+//     a stuck alerting flag would suppress real future alerts about it.
 func (c *Coordinator) reintegrate(cell int) {
 	c.live[cell] = true
 	delete(c.forcedDead, cell)
+	delete(c.votedDown, cell)
+	for _, rows := range c.votedDown {
+		delete(rows, cell)
+	}
+	prefix := fmt.Sprintf("%d:", cell)
+	var stale []string
+	for key := range c.completed {
+		stale = append(stale, key)
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		if strings.HasPrefix(key, prefix) {
+			delete(c.completed, key)
+		}
+	}
+	for _, id := range sortedMonitorIDs(c.monitors) {
+		if m := c.monitors[id]; m.CellID != cell {
+			delete(m.lastClock, cell)
+			delete(m.alerting, cell)
+		}
+	}
 }
 
 // Reintegrate is the exported form used by the cell reboot path.
 func (c *Coordinator) Reintegrate(cell int) { c.reintegrate(cell) }
+
+// RequestJoin asks the membership layer to re-admit a microbooted cell
+// through a coordinator-led join round. It must run in a global section
+// (the reboot controller's context). The returned future resolves to a
+// bool: true when the round committed and the joiner is live again, false
+// when it aborted (the joiner died mid-join, or every member did). The
+// int is the join sequence the joiner must announce with. The joiner's
+// fresh monitor must already be registered (NewMonitor) but not started:
+// until the commit it is untrusted and passive — the live members run the
+// round; the joiner only answers their probes over the validated RPC path.
+func (c *Coordinator) RequestJoin(joiner int) (*sim.Future, int) {
+	if c.live[joiner] {
+		f := &sim.Future{}
+		f.Set(true, nil)
+		return f, 0
+	}
+	if f := c.pendingJoins[joiner]; f != nil {
+		return f, c.joinSeq
+	}
+	c.joinSeq++
+	f := &sim.Future{}
+	c.pendingJoins[joiner] = f
+	return f, c.joinSeq
+}
+
+// ensureJoinRound joins (or creates) the join round for an announcement,
+// mirroring ensureRound: a nil round with retry=false means the request is
+// stale (already served, joiner already live, or no longer wanted);
+// retry=true means the coordinator is busy with another round and the
+// member should re-present the announcement once it drains.
+func (c *Coordinator) ensureJoinRound(msg *joinMsg, cellID int) (*round, bool) {
+	key := fmt.Sprintf("join:%d:%d", msg.Joiner, msg.Sequence)
+	if c.cur != nil {
+		if c.cur.join && c.cur.suspect == msg.Joiner && c.cur.members[cellID] &&
+			!c.cur.done[cellID] && !c.cur.joined[cellID] {
+			c.cur.joined[cellID] = true
+			return c.cur, false
+		}
+		if c.cur.join && c.cur.suspect == msg.Joiner {
+			c.completed[key] = true // duplicate announcement, already serving
+			return nil, false
+		}
+		// Busy with a different round (a death round outranks a join):
+		// retry while the reboot controller still wants the join.
+		return nil, c.pendingJoins[msg.Joiner] != nil
+	}
+	if c.completed[key] {
+		return nil, false
+	}
+	if c.live[msg.Joiner] || c.pendingJoins[msg.Joiner] == nil {
+		c.completed[key] = true
+		return nil, false
+	}
+	r := &round{
+		key:     key,
+		suspect: msg.Joiner,
+		accuser: msg.Joiner,
+		members: make(map[int]bool),
+		joined:  map[int]bool{cellID: true},
+		votes:   make(map[int]bool),
+		verdict: &sim.Future{},
+		b1Seen:  make(map[int]bool),
+		b2Seen:  make(map[int]bool),
+		done:    make(map[int]bool),
+		entered: make(map[int]sim.Time),
+
+		corruptAccuser: -1,
+		join:           true,
+	}
+	for cell := range c.live {
+		if mon := c.monitors[cell]; mon != nil && mon.dead {
+			continue
+		}
+		r.members[cell] = true
+	}
+	if ms := sortedCells(r.members); len(ms) > 0 {
+		r.coordinator = ms[0]
+	}
+	r.barrier1 = sim.NewBarrier(len(r.members))
+	r.barrier2 = sim.NewBarrier(len(r.members))
+	c.cur = r
+	c.RoundsRun++
+	c.JoinRounds++
+	return r, false
+}
+
+// tallyJoinVotes resolves the admit/abort verdict once every still-live
+// member has voted on the joiner's reachability: admission needs a strict
+// majority of "reachable" votes, symmetric to the death tally.
+func (c *Coordinator) tallyJoinVotes(r *round) {
+	if r.verdict.Ready() || len(r.members) == 0 || len(r.votes) < len(r.members) {
+		return
+	}
+	reachable := len(r.votes) - r.deadVotes
+	c.applyJoinVerdict(r, reachable*2 > len(r.members))
+}
+
+// applyJoinVerdict commits the join round's agreement outcome. The verdict
+// future resolves to the same map[int]bool shape as a death round:
+// {joiner: true} = admit, empty = abort. Aborts resolve the requester
+// immediately; admits resolve at commit, after the barriers.
+func (c *Coordinator) applyJoinVerdict(r *round, admit bool) {
+	if r.applied {
+		return
+	}
+	r.applied = true
+	verdict := map[int]bool{}
+	if admit && !r.aborted {
+		verdict[r.suspect] = true
+	} else {
+		c.resolveJoin(r, false)
+	}
+	r.verdict.Set(verdict, nil)
+}
+
+// noteJoinBarrier1Open fires the join-round fault-injection hook once, when
+// the first member crosses barrier 1.
+func (c *Coordinator) noteJoinBarrier1Open(r *round) {
+	if r.b1Fired {
+		return
+	}
+	r.b1Fired = true
+	if c.OnJoinBarrier1Open != nil {
+		c.OnJoinBarrier1Open(r.suspect, r.coordinator)
+	}
+}
+
+// commitJoin is run by the round coordinator after barrier 2: the joiner
+// enters the live set, every piece of stale bookkeeping about the old
+// incarnation is scrubbed, and the Rejoin control-ring event marks the
+// taint boundary for the forensic walk. If the joiner died between the
+// vote and the commit, the commit is cancelled instead.
+func (c *Coordinator) commitJoin(r *round, at sim.Time, tr *trace.Tracer) {
+	if r.committed {
+		return
+	}
+	r.committed = true
+	if r.aborted {
+		c.resolveJoin(r, false)
+		return
+	}
+	joiner := r.suspect
+	c.reintegrate(joiner)
+	c.Rejoins = append(c.Rejoins, joiner)
+	c.LastRejoinAt = at
+	tr.Emit(at, trace.Rejoin, int64(joiner), int64(r.coordinator), "")
+	c.resolveJoin(r, true)
+}
+
+// resolveJoin resolves the pending join future exactly once.
+func (c *Coordinator) resolveJoin(r *round, ok bool) {
+	if f := c.pendingJoins[r.suspect]; f != nil {
+		f.Set(ok, nil)
+		delete(c.pendingJoins, r.suspect)
+	}
+}
 
 // Monitors exposes the registered monitors by cell (read-only use).
 func (c *Coordinator) Monitors() map[int]*Monitor { return c.monitors }

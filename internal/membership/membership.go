@@ -58,12 +58,20 @@ const (
 	// DiagnosticsCost is the recovery master's hardware check of a
 	// failed node.
 	DiagnosticsCost = 25 * sim.Millisecond
+	// JoinPhase1Base and JoinPhase2Base are the per-member costs of the
+	// join round's two phases (re-validating the joiner's identity, then
+	// dropping stale state about the old incarnation and warming shared
+	// caches). Deliberately cheaper than the death phases: user processes
+	// keep running throughout a join.
+	JoinPhase1Base = 6 * sim.Millisecond
+	JoinPhase2Base = 8 * sim.Millisecond
 )
 
 // RPC procedure numbers (range 180-199).
 const (
 	ProcAlert rpc.ProcID = 180 + iota // failure alert broadcast
 	ProcPing                          // agreement liveness probe
+	ProcJoin                          // join-round announcement from a microbooted cell
 )
 
 // Hooks connect the monitor to the rest of the cell.
@@ -86,6 +94,13 @@ type alertMsg struct {
 	Suspect  int
 	Accuser  int
 	Reason   string
+	Sequence int
+}
+
+// joinMsg is the wire form of a join-round announcement: a microbooted
+// cell asking the live members to re-admit it.
+type joinMsg struct {
+	Joiner   int
 	Sequence int
 }
 
@@ -283,36 +298,54 @@ func (mon *Monitor) recoveryLoop(t *sim.Task) {
 		if !ok {
 			return
 		}
-		alert := v.(*alertMsg)
 		if mon.dead {
 			return
 		}
-		// No liveness precheck here: the verdict may already have
-		// removed the suspect from the live set while this member was
-		// still on its way to the round; ensureRound folds it in.
-		var round *round
-		var retry bool
-		mon.global(t, func() { round, retry = mon.Coord.ensureRound(alert, mon.CellID) })
-		if round == nil {
-			if retry {
-				// The coordinator is serving a round for a different
-				// suspect. The alert is not stale — this suspect still
-				// needs its own round once the active one drains — and
-				// the accuser will not re-broadcast (its alerting flag
-				// stays up while it serves the round it created), so
-				// requeue the alert and try again next tick.
-				t.Sleep(TickInterval)
-				if mon.dead {
-					return
+		switch msg := v.(type) {
+		case *alertMsg:
+			// No liveness precheck here: the verdict may already have
+			// removed the suspect from the live set while this member was
+			// still on its way to the round; ensureRound folds it in.
+			var round *round
+			var retry bool
+			mon.global(t, func() { round, retry = mon.Coord.ensureRound(msg, mon.CellID) })
+			if round == nil {
+				if retry {
+					// The coordinator is serving a round for a different
+					// suspect. The alert is not stale — this suspect still
+					// needs its own round once the active one drains — and
+					// the accuser will not re-broadcast (its alerting flag
+					// stays up while it serves the round it created), so
+					// requeue the alert and try again next tick.
+					t.Sleep(TickInterval)
+					if mon.dead {
+						return
+					}
+					mon.alerts.Push(msg)
+					continue
 				}
-				mon.alerts.Push(alert)
+				delete(mon.alerting, msg.Suspect)
 				continue
 			}
-			delete(mon.alerting, alert.Suspect)
-			continue
+			mon.runRound(t, round)
+			delete(mon.alerting, msg.Suspect)
+		case *joinMsg:
+			var round *round
+			var retry bool
+			mon.global(t, func() { round, retry = mon.Coord.ensureJoinRound(msg, mon.CellID) })
+			if round == nil {
+				if retry {
+					// A death round is in flight; the join waits its turn.
+					t.Sleep(TickInterval)
+					if mon.dead {
+						return
+					}
+					mon.alerts.Push(msg)
+				}
+				continue
+			}
+			mon.runJoinRound(t, round)
 		}
-		mon.runRound(t, round)
-		delete(mon.alerting, alert.Suspect)
 	}
 }
 
@@ -426,6 +459,99 @@ func (mon *Monitor) runRound(t *sim.Task, r *round) {
 	mon.global(t, func() { mon.Coord.finishRound(r, mon.CellID) })
 }
 
+// runJoinRound executes one join round on a live member cell: validate
+// the joiner's fresh image (probe or oracle — the joiner is untrusted
+// until the commit, so even validation traffic rides the ordinary RPC
+// boundary), then a double barrier symmetric to the death round — stale
+// state about the old incarnation is dropped between the barriers — and
+// finally the coordinator commits the joiner into the live set. Unlike a
+// death round, user processes keep running throughout: the availability
+// loop must not pause the survivors' workloads.
+func (mon *Monitor) runJoinRound(t *sim.Task, r *round) {
+	mon.Metrics.Counter("membership.joinrounds").Inc()
+
+	validateSpan := mon.Tracer.Begin(t.Now(), "join:validate")
+	admit := mon.Coord.agreeJoin(t, mon, r)
+	var admitted int64
+	if admit {
+		admitted = 1
+	}
+	mon.Tracer.End(t.Now(), validateSpan, "join:validate", admitted)
+	if mon.dead {
+		return
+	}
+	if !admit {
+		// The fresh image is unreachable (or died already): abort. The
+		// requester was resolved by the verdict; the members just drain.
+		mon.global(t, func() { mon.Coord.finishRound(r, mon.CellID) })
+		return
+	}
+
+	proc := mon.proc()
+	b1Span := mon.Tracer.Begin(t.Now(), "join:barrier1")
+	proc.Use(t, JoinPhase1Base)
+	if mon.dead {
+		// Same rule as the death round: a member that died during the
+		// phase must not arrive at a barrier that no longer counts it.
+		return
+	}
+	mon.global(t, func() {
+		r.b1Seen[mon.CellID] = true
+		r.barrier1.Await(t)
+		mon.Coord.noteJoinBarrier1Open(r)
+	})
+	mon.Tracer.End(t.Now(), b1Span, "join:barrier1", 0)
+
+	b2Span := mon.Tracer.Begin(t.Now(), "join:warm")
+	proc.Use(t, JoinPhase2Base)
+	if mon.dead {
+		return
+	}
+	// Drop stale state about the old incarnation before the fresh one
+	// becomes visible. The hook touches machine-global page state, so it
+	// runs in the global section with the barrier.
+	mon.global(t, func() {
+		if mon.Hooks.Reintegrate != nil {
+			mon.Hooks.Reintegrate(r.suspect)
+		}
+		r.b2Seen[mon.CellID] = true
+		r.barrier2.Await(t)
+	})
+	mon.Tracer.End(t.Now(), b2Span, "join:warm", 0)
+	if mon.dead {
+		return
+	}
+
+	if r.coordinator == mon.CellID {
+		mon.global(t, func() { mon.Coord.commitJoin(r, t.Now(), mon.Tracer) })
+	}
+	mon.global(t, func() { mon.Coord.finishRound(r, mon.CellID) })
+}
+
+// AnnounceJoin broadcasts the microbooted cell's join request to every
+// live member and waits for the casts to land. It runs on the joiner's own
+// shard (the reboot controller spawns it there); the request travels the
+// ordinary RPC path — checksummed on the wire, sanity-checked at the
+// receiver — because the joiner is untrusted until the round commits.
+func (mon *Monitor) AnnounceJoin(t *sim.Task, seq int) {
+	span := mon.Tracer.Begin(t.Now(), "join:announce")
+	msg := &joinMsg{Joiner: mon.CellID, Sequence: seq}
+	var peers []int
+	mon.global(t, func() { peers = mon.Coord.liveSet() })
+	join := sim.NewBarrier(len(peers) + 1)
+	for _, c := range peers {
+		c := c
+		mon.eng().Go(fmt.Sprintf("cell%d.join%d", mon.CellID, c), func(t *sim.Task) {
+			//hive:lint-ignore errdrop join announce is best-effort: a member that cannot be reached is itself failing and will leave the round via CellDiedMidRound
+			mon.EP.Call(t, mon.proc(), c, ProcJoin, msg,
+				rpc.CallOpts{DataBytes: 64, NoHint: true})
+			join.Await(t)
+		})
+	}
+	join.Await(t)
+	mon.Tracer.End(t.Now(), span, "join:announce", int64(len(peers)))
+}
+
 // runDiagnostics checks a failed cell's nodes and reintegrates when
 // AutoReintegrate is set and the hardware passes.
 func (mon *Monitor) runDiagnostics(t *sim.Task, cell int) {
@@ -486,6 +612,20 @@ func (mon *Monitor) registerServices() {
 	mon.EP.Register(ProcPing, "membership.ping",
 		func(req *rpc.Request) (any, sim.Time, bool, error) {
 			return "pong", 0, true, nil
+		}, nil)
+
+	mon.EP.Register(ProcJoin, "membership.join",
+		func(req *rpc.Request) (any, sim.Time, bool, error) {
+			msg, ok := req.Args.(*joinMsg)
+			if !ok || msg.Joiner != req.From || msg.Joiner == mon.CellID {
+				// A join announcement must come from the joiner itself;
+				// anything else is a forged or corrupt request. The live
+				// check happens later, inside ensureJoinRound's global
+				// section — coordinator state is not readable here.
+				return nil, 0, true, fmt.Errorf("membership: bad join request")
+			}
+			mon.alerts.Push(msg)
+			return nil, 20 * sim.Microsecond, true, nil
 		}, nil)
 }
 

@@ -234,6 +234,16 @@ func NewEndpoint(m *machine.Machine, cellID int, procs []*machine.Processor, poo
 // Engine returns the shard this endpoint's cell runs on.
 func (ep *Endpoint) Engine() *sim.Engine { return ep.eng }
 
+// SetIncarnation stamps every future call id with a boot epoch. Dedup keys
+// are (from, id) and rely on "caller cell ids never repeat a call id" —
+// which must hold across reboots too: without the epoch, a rebooted cell's
+// fresh endpoint would restart its ids at zero and peers would swallow its
+// first calls (the join announcement among them) as retransmits of its
+// previous incarnation's traffic.
+func (ep *Endpoint) SetIncarnation(n int) {
+	ep.nextID = uint64(n) << 48
+}
+
 // Connect wires two endpoints so they can address each other.
 func Connect(eps ...*Endpoint) {
 	for _, a := range eps {

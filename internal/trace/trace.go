@@ -109,6 +109,15 @@ const (
 	// message instead of re-executing it (A = peer cell, S = one of
 	// "dup-request", "dup-reply", "stale-reply").
 	RPCDedup
+	// Reboot marks a microboot of a fresh cell image on a dead cell's
+	// nodes (A = rebooted cell, B = attempt number, S = stage). Recorded
+	// by the reboot controller so the forensic walk can see the loop.
+	Reboot
+	// Rejoin marks the commit of a membership join round: the rebooted
+	// cell is back in the live set (A = joiner, B = coordinator). From
+	// this event on, the joiner's prior taint is cleared — a later death
+	// is a *new* fault, not an escape of the old one.
+	Rejoin
 
 	numKinds
 )
@@ -172,6 +181,10 @@ func (k Kind) String() string {
 		return "CAREFUL-ABORT"
 	case RPCDedup:
 		return "RPC-DEDUP"
+	case Reboot:
+		return "REBOOT"
+	case Rejoin:
+		return "REJOIN"
 	default:
 		return "INFO"
 	}
@@ -185,7 +198,7 @@ func (k Kind) control() bool {
 	switch k {
 	case Hint, Alert, Vote, Panic, Kill, Discard, PhaseBegin, PhaseEnd, WaxHint, Info,
 		MsgDrop, MsgDup, MsgCorrupt, RPCRetry, RoundRestart,
-		Inject, CarefulAbort, RPCDedup:
+		Inject, CarefulAbort, RPCDedup, Reboot, Rejoin:
 		// Injected message faults, retransmissions, and round restarts
 		// are rare and forensically decisive: they live in the control
 		// ring so a busy workload cannot evict them.
@@ -275,6 +288,10 @@ func (e Event) Detail() string {
 		return fmt.Sprintf("careful read about cell %d aborted: %s", e.A, e.S)
 	case RPCDedup:
 		return fmt.Sprintf("%s from cell %d discarded", e.S, e.A)
+	case Reboot:
+		return fmt.Sprintf("cell %d microboot attempt %d: %s", e.A, e.B, e.S)
+	case Rejoin:
+		return fmt.Sprintf("cell %d rejoined the live set (coordinator %d)", e.A, e.B)
 	default:
 		return e.S
 	}

@@ -83,6 +83,28 @@ func (v *VM) MigratePage(t *sim.Task, lp LogicalPage, target int) error {
 	return nil
 }
 
+// RebalanceToward migrates up to n unshared cached pages (any object)
+// into frames borrowed from target. This is the rejoin warm-up path: a
+// freshly rebooted cell's memory is empty, and moving a slice of each
+// survivor's page cache onto it re-stripes placement across full capacity.
+// Returns pages moved.
+func (v *VM) RebalanceToward(t *sim.Task, target, n int) int {
+	moved := 0
+	for _, f := range v.sortedFrames() {
+		if moved >= n {
+			break
+		}
+		pf := v.frames[f]
+		if !pf.Valid {
+			continue
+		}
+		if v.MigratePage(t, pf.LP, target) == nil {
+			moved++
+		}
+	}
+	return moved
+}
+
 // PlacePages migrates up to n unshared cached pages of the given object
 // toward target — the policy entry point Wax (or the data home's fault
 // path) would drive. Returns pages moved.

@@ -315,7 +315,12 @@ func Supervise(h *core.Hive) *Supervisor {
 			if sup.stop {
 				return
 			}
-			if sup.Cur.Alive() {
+			if sup.Cur.Alive() && len(sup.Cur.threads) == len(sup.h.LiveCells()) {
+				// Alive alone is not enough: the live set can *grow* (a
+				// rebooted cell rejoining) and an incarnation spanning
+				// only the survivors would keep the rejoined cell out of
+				// the allocation pool. Restart whenever the thread count
+				// no longer matches the live set.
 				continue
 			}
 			// Wait until no cell is mid-recovery before restarting.
