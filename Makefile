@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke mort-check shard-identity reboot-identity crashloop-soak race bench bench-engine bench-report bench-gate clean
+.PHONY: all build test lint lint-report lint-examples check trace-check drill-smoke mort-check shard-identity reboot-identity frontend-identity frontend-smoke crashloop-soak surge-soak race bench bench-engine bench-report bench-gate clean
 
 all: check
 
@@ -47,6 +47,15 @@ check: build
 	$(GO) test -race ./internal/parallel/... ./internal/sim/...
 	$(MAKE) trace-check
 	$(MAKE) mort-check
+	$(MAKE) frontend-smoke
+
+# frontend-smoke is the fast frontend gate inside `check`: one surge
+# trial end to end (kill a cell mid-surge through the faultdrill CLI,
+# exit nonzero unless contained with the loop closed) plus the targeted
+# open-loop determinism tests with -count=1.
+frontend-smoke:
+	$(GO) run ./cmd/faultdrill -scenario 14 -trial 0
+	$(GO) test -count=1 -run 'TestFrontendArrivalDeterminism|TestFrontendZipfTenantMix' ./internal/workload/
 
 # trace-check is the observability gate: the Chrome trace export and the
 # histogram-backed campaign rows must be byte-identical across -j1/-j4
@@ -116,6 +125,28 @@ reboot-identity:
 	rm -rf $(RBSCRATCH)
 	@echo "reboot-identity: availability loop byte-identical across -j and -shards"
 
+# frontend-identity is the open-loop frontend determinism gate: the
+# throughput-vs-offered-load sweep and the surge-fault row (SLO
+# quantiles, shed counts, availability windows) must be byte-identical
+# across -j1/-j8 and between -shards 1 (the serial reference) and
+# -shards auto. Wall-clock and worker-count fields are stripped before
+# the diff, same as the other identity gates.
+FESCRATCH := .frontendcheck
+frontend-identity:
+	mkdir -p $(FESCRATCH)
+	$(GO) run ./cmd/hivebench -only frontend -j 1 -json -o $(FESCRATCH)/fe_j1.json
+	$(GO) run ./cmd/hivebench -only frontend -j 8 -json -o $(FESCRATCH)/fe_j8.json
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"|wall_jobs_per_s' $(FESCRATCH)/fe_j1.json > $(FESCRATCH)/fe_j1.norm
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"|wall_jobs_per_s' $(FESCRATCH)/fe_j8.json > $(FESCRATCH)/fe_j8.norm
+	diff $(FESCRATCH)/fe_j1.norm $(FESCRATCH)/fe_j8.norm
+	$(GO) run ./cmd/hivebench -only frontend -shards 1 -json -o $(FESCRATCH)/fe_s1.json
+	$(GO) run ./cmd/hivebench -only frontend -shards auto -json -o $(FESCRATCH)/fe_sa.json
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"|wall_jobs_per_s' $(FESCRATCH)/fe_s1.json > $(FESCRATCH)/fe_s1.norm
+	grep -vE '"(jobs|gomaxprocs|shards|wall_ms|total_wall_ms)"|wall_jobs_per_s' $(FESCRATCH)/fe_sa.json > $(FESCRATCH)/fe_sa.norm
+	diff $(FESCRATCH)/fe_s1.norm $(FESCRATCH)/fe_sa.norm
+	rm -rf $(FESCRATCH)
+	@echo "frontend-identity: open-loop frontend byte-identical across -j and -shards"
+
 # crashloop-soak is the nightly deep gate for the availability loop:
 # many extra trials of the crash-loop (scenario 12) and rolling-reboot
 # (scenario 13) scenarios beyond the default campaign counts — every
@@ -127,6 +158,18 @@ crashloop-soak:
 	for t in $$(seq 0 11); do ./.soak-faultdrill -scenario 13 -trial $$t || exit 1; done
 	rm -f .soak-faultdrill
 	@echo "crashloop-soak: 25 crash-loop + 12 rolling-reboot trials, all contained"
+
+# surge-soak is the nightly deep gate for the frontend under fault: many
+# extra surge trials (scenario 14) beyond the default campaign count —
+# every trial index draws a fresh seed, a fresh fault time inside the
+# burst, and a fresh victim — exiting nonzero if any trial leaks the
+# fault, fails to close the reboot loop, or reports an unbounded
+# user-visible window.
+surge-soak:
+	$(GO) build -o .soak-faultdrill ./cmd/faultdrill
+	for t in $$(seq 0 15); do ./.soak-faultdrill -scenario 14 -trial $$t || exit 1; done
+	rm -f .soak-faultdrill
+	@echo "surge-soak: 16 surge-fault trials, all contained with bounded windows"
 
 # race runs the concurrency-sensitive packages under the race detector,
 # including the cross-package determinism gates in internal/faultinject

@@ -11,8 +11,9 @@
 //	hivebench -trace out.json # Perfetto trace of a fault-injection trial
 //	hivebench -only t72       # one experiment: careful41, rpc6, t52,
 //	                          # t72, t73, t74, fw42, traffic52, reboot,
-//	                          # t81, scale, scalability, agreement,
-//	                          # cowlookup, sipsipi, fwgran, ccnow
+//	                          # frontend, t81, scale, scalability,
+//	                          # agreement, cowlookup, sipsipi, fwgran,
+//	                          # ccnow
 //
 // Experiments are deterministic simulations: the tables are byte-identical
 // at every -j. The JSON report additionally records wall-clock time per
@@ -307,6 +308,38 @@ func main() {
 		c.println(harness.FormatRebootLoop(rows))
 		c.println("time-to-restored-full-capacity is death verdict → join-round commit;")
 		c.println("loop p99 is the probe-op latency while the loop ran (§4.3 closed end-to-end).")
+		c.println()
+	})
+
+	run("frontend", func(c *runCtx) {
+		scale := 1.0
+		if *quick {
+			scale = 0.5
+		}
+		rep := harness.RunFrontendSweep(scale)
+		for _, p := range rep.Points {
+			key := fmt.Sprintf("x%02.0f", p.Multiplier*10)
+			c.metric(key+"_jobs", float64(p.Completed))
+			c.metric(key+"_shed", float64(p.Shed))
+			c.metric(key+"_p50_us", p.Latency.P50)
+			c.metric(key+"_p99_us", p.Latency.P99)
+			c.metric(key+"_p999_us", p.Latency.P999)
+			c.metric(key+"_goodput_per_s", p.GoodputPerSec)
+			c.infoMetric(key+"_wall_jobs_per_s", float64(p.Completed)/p.WallSec)
+		}
+		f := rep.Fault
+		c.metric("surge_tests", float64(f.Tests))
+		c.metric("surge_avg_window_ms", f.AvgWindow)
+		c.metric("surge_max_window_ms", f.MaxWindow)
+		c.metric("surge_avg_restore_ms", f.AvgRestore)
+		allOK := 0.0
+		if f.AllOK {
+			allOK = 1
+		}
+		c.metric("all_contained", allOK)
+		c.println(harness.FormatFrontend(rep))
+		c.println("open-loop arrivals in virtual time: the sweep is byte-identical at any -j/-shards;")
+		c.println("the fault row kills a cell mid-surge and bounds the user-visible window by the restore time.")
 		c.println()
 	})
 

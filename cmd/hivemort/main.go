@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	hivemort                      # audit the full default campaign (133 trials)
+//	hivemort                      # audit the full default campaign (137 trials)
 //	hivemort -trials 3            # 3 trials per scenario
 //	hivemort -cells 16 -shards auto  # audit a sharded 16-cell campaign
 //	hivemort -j 8                 # fan trials across 8 workers (same report at any -j)

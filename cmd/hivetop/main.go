@@ -12,12 +12,15 @@
 //	hivetop -fail 2 -forensic      # propagation graph + virtual-time profile
 //	hivetop -fail 2 -reboot        # availability loop: reboot, rejoin, restore
 //	hivetop -shards auto -trace top.json  # sharded engine, with counter tracks
+//	hivetop -frontend              # open-loop multi-tenant frontend + SLO view
+//	hivetop -frontend -fail 1 -reboot     # kill a cell mid-surge, watch the window
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -26,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wax"
 	"repro/internal/workload"
 )
 
@@ -43,6 +47,7 @@ func main() {
 		reboot     = flag.Bool("reboot", false, "run the availability loop: reboot the failed cell, rejoin it, restore full capacity")
 		topN       = flag.Int("top", 3, "top span names per subsystem in the -forensic profile")
 		shards     = flag.String("shards", "", "engine mode: 0 = classic (default), N = sharded with N workers, auto = one worker per cell")
+		frontend   = flag.Bool("frontend", false, "run the open-loop multi-tenant frontend instead of pmake, with an SLO view")
 	)
 	flag.Parse()
 
@@ -75,7 +80,22 @@ func main() {
 	}
 	h.Eng.After(sim.Time(interval.Nanoseconds()), snap)
 
-	res := workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+	var (
+		resName    string
+		resDone    bool
+		resElapsed sim.Time
+		fe         *workload.FrontendResult
+	)
+	if *frontend {
+		sup := wax.Supervise(h)
+		var wl *workload.Result
+		wl, fe = workload.RunFrontend(h, workload.DefaultFrontend(), 60*sim.Second)
+		resName, resDone, resElapsed = wl.Name, wl.Done, wl.Elapsed
+		sup.Stop()
+	} else {
+		res := workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+		resName, resDone, resElapsed = res.Name, res.Done, res.Elapsed
+	}
 	if *reboot && h.Rebooter != nil {
 		// The workload driver stops once pmake settles; keep the clock
 		// running until the availability loop does too (rejoin committed,
@@ -86,7 +106,10 @@ func main() {
 	}
 	printSnapshot(h)
 	fmt.Printf("\nworkload %s finished: done=%v elapsed=%.3fs\n",
-		res.Name, res.Done, res.Elapsed.Seconds())
+		resName, resDone, resElapsed.Seconds())
+	if fe != nil {
+		printFrontendSLO(fe)
+	}
 
 	if *fail >= 0 {
 		printRecoveryTimeline(h)
@@ -228,6 +251,51 @@ func printRecoveryTimeline(h *core.Hive) {
 			}
 		}
 	}
+}
+
+// printFrontendSLO is the operator's SLO view of a frontend run: the
+// aggregate counters and latency quantiles, the availability window if
+// the run rode through a fault, and the busiest tenants of the Zipf mix.
+func printFrontendSLO(fe *workload.FrontendResult) {
+	fmt.Println("\nfrontend SLO view:")
+	fmt.Printf("  offered %d (%.0f/s)  issued %d  shed %d  completed %d  lost %d\n",
+		fe.Offered, fe.OfferedPerSec, fe.Issued, fe.Shed, fe.Completed, fe.Lost)
+	fmt.Printf("  throughput %.0f/s  goodput %.0f/s (%d jobs within SLO)\n",
+		fe.ThroughputPerSec, fe.GoodputPerSec, fe.Good)
+	fmt.Printf("  latency p50 %.1fµs  p99 %.1fµs  p999 %.1fµs  max %.1fµs\n",
+		fe.Latency.P50, fe.Latency.P99, fe.Latency.P999, fe.Latency.Max)
+	if fe.Degraded > 0 || fe.ErrWindowMs > 0 {
+		fmt.Printf("  degraded arrivals %d  user-visible window %.1fms\n",
+			fe.Degraded, fe.ErrWindowMs)
+	}
+	tb := stats.NewTable("busiest tenants", "tenant", "issued", "done", "done %")
+	type trow struct {
+		id     int
+		issued int64
+		done   int64
+	}
+	rows := make([]trow, len(fe.TenantIssued))
+	for i := range fe.TenantIssued {
+		rows[i] = trow{i, fe.TenantIssued[i], fe.TenantDone[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].issued != rows[j].issued {
+			return rows[i].issued > rows[j].issued
+		}
+		return rows[i].id < rows[j].id
+	})
+	for i, r := range rows {
+		if i == 8 || r.issued == 0 {
+			break
+		}
+		pct := 0.0
+		if r.issued > 0 {
+			pct = 100 * float64(r.done) / float64(r.issued)
+		}
+		tb.AddRow(fmt.Sprint(r.id), fmt.Sprint(r.issued), fmt.Sprint(r.done),
+			fmt.Sprintf("%.1f%%", pct))
+	}
+	fmt.Println(tb)
 }
 
 // printHistograms shows each cell's top latency distributions.

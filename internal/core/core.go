@@ -136,6 +136,13 @@ type Cell struct {
 	ClockHand *vm.ClockHand
 	Tracer    *trace.Tracer
 
+	// PlaceTargets is Wax's process-placement hint: preferred spill cells
+	// (least-loaded first) for work this cell cannot or should not run
+	// locally. Installed through ApplyPlaceTargets in the global phase and
+	// read from this cell's own shard, like VM.AllocTargets. Advisory only:
+	// dispatchers fall back to any live cell when it is stale or empty.
+	PlaceTargets []int
+
 	failed  bool // fail-stop or forced stop
 	corrupt bool // software-corrupted (fault injection ground truth)
 	boots   int  // microboot count (RPC incarnation epoch)
@@ -543,6 +550,7 @@ func (c *Cell) Microboot() {
 	}
 	c.Hive.Space.Arena(c.ID).Reset()
 	c.failed, c.corrupt = false, false
+	c.PlaceTargets = nil // stale pre-fault hints do not survive the reboot
 	c.Hive.buildCell(c)
 	c.boots++
 	c.EP.SetIncarnation(c.boots)
@@ -636,6 +644,29 @@ func (c *Cell) ApplyAllocTargets(targets []int) error {
 	c.VM.AllocTargets = append([]int(nil), targets...)
 	c.Metrics.Counter("cell.wax_hints_applied").Inc()
 	c.Tracer.Emit(c.EP.Engine().Now(), trace.WaxHint, int64(len(targets)), 1, "alloc-targets")
+	return nil
+}
+
+// ApplyPlaceTargets installs Wax's process-placement spill targets after
+// the same validation as the allocation hint (live, distinct, not self,
+// bounded count). Dispatchers consult the list when the natural home for
+// a piece of work is failed or saturated.
+func (c *Cell) ApplyPlaceTargets(targets []int) error {
+	if len(targets) > len(c.Hive.Cells) {
+		return fmt.Errorf("core: hint rejected: %d targets", len(targets))
+	}
+	seen := map[int]bool{}
+	for _, tc := range targets {
+		if tc < 0 || tc >= len(c.Hive.Cells) || tc == c.ID || seen[tc] || c.Hive.Cells[tc].Failed() {
+			c.Metrics.Counter("cell.wax_hints_rejected").Inc()
+			c.Tracer.Emit(c.EP.Engine().Now(), trace.WaxHint, int64(tc), 0, "place-targets")
+			return fmt.Errorf("core: hint rejected: bad target %d", tc)
+		}
+		seen[tc] = true
+	}
+	c.PlaceTargets = append([]int(nil), targets...)
+	c.Metrics.Counter("cell.wax_hints_applied").Inc()
+	c.Tracer.Emit(c.EP.Engine().Now(), trace.WaxHint, int64(len(targets)), 1, "place-targets")
 	return nil
 }
 

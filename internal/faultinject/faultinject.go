@@ -21,6 +21,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/wax"
 	"repro/internal/workload"
 )
 
@@ -76,6 +77,8 @@ func (s Scenario) String() string {
 		return "crash loop bounded by rejoin backoff (P, ext)"
 	case RollingReboot:
 		return "rolling reboot of all cells (P, ext)"
+	case SurgeFault:
+		return "cell failure during frontend surge (F, ext)"
 	default:
 		return "unknown"
 	}
@@ -122,6 +125,14 @@ type TrialResult struct {
 	Rejoins   int     // committed rejoin passes
 	RestoreMs float64 // worst pass: death verdict → join-round commit (full capacity)
 	LoopP99Ms float64 // p99 probe-op latency (ms) while the loop ran
+
+	// Frontend SLO metrics (SurgeFault): what the open-loop user
+	// population saw of the death → reboot → rejoin loop.
+	FeIssued    int     // jobs dispatched
+	FeCompleted int     // jobs completed
+	FeLost      int     // jobs lost with the victim
+	FeP99Us     float64 // job latency p99 (virtual µs)
+	FeWindowMs  float64 // user-visible availability window (ms)
 
 	// Forensic capture (TrialOpts.KeepEvents): the merged typed event
 	// stream and per-cell ring-truncation counters the trace-based
@@ -335,6 +346,7 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 	}
 
 	var wl *workload.Result
+	var fe *workload.FrontendResult
 	switch s {
 	case NodeFailProcCreate:
 		cfg := workload.DefaultPmake()
@@ -533,6 +545,30 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 			rollingDone = true
 		})
 		wl = workload.RunPmake(h, workload.DefaultPmake(), 60*sim.Second)
+
+	case SurgeFault:
+		// Kill the target in the middle of the frontend's burst window:
+		// the open-loop arrival stream keeps coming while the availability
+		// loop reboots, rejoins, and re-stripes the victim. The dispatchers
+		// are detached (fork+exec), so they survive the victim and route
+		// around the hole with Wax's placement hints; the user-visible
+		// availability window they record must be bounded by the loop's
+		// restore time. Wax runs under its supervisor, as in production:
+		// the incarnation dies with the victim and a fresh one rebuilds
+		// its view over the healed live set.
+		sup := wax.Supervise(h)
+		defer sup.Stop()
+		fcfg := workload.DefaultFrontend()
+		fcfg.Users = 200_000
+		fcfg.Tenants = 32
+		fcfg.RatePerSec = 400
+		fcfg.Duration = 3 * sim.Second
+		fcfg.BurstAt = 800 * sim.Millisecond
+		fcfg.BurstLen = 1200 * sim.Millisecond
+		fcfg.Seed = 0xFE00 + uint64(trial)
+		at := sim.Time(900+rng.Intn(800)) * sim.Millisecond
+		h.Eng.At(at, inject)
+		wl, fe = workload.RunFrontend(h, fcfg, 60*sim.Second)
 	}
 
 	if !injected {
@@ -674,6 +710,27 @@ func RunTrialOpts(s Scenario, trial int, opts TrialOpts) *TrialResult {
 				res.Contained = false
 				res.Notes += fmt.Sprintf("rolling reboot restored %d/%d cells;",
 					res.Rejoins, len(h.Cells)-2)
+			}
+		case SurgeFault:
+			res.FeIssued = fe.Issued
+			res.FeCompleted = fe.Completed
+			res.FeLost = fe.Lost
+			res.FeP99Us = fe.Latency.P99
+			res.FeWindowMs = fe.ErrWindowMs
+			switch {
+			case res.Rejoins != 1 || h.Rebooter.FullCapacityAt == 0:
+				res.Contained = false
+				res.Notes += fmt.Sprintf("full capacity not restored (rejoins=%d);", res.Rejoins)
+			case fe.Completed == 0 || fe.Issued == 0:
+				res.Contained = false
+				res.Notes += "frontend served no jobs;"
+			case fe.Degraded == 0 || fe.ErrWindowMs <= 0:
+				res.Contained = false
+				res.Notes += "fault invisible to users — injection missed the surge;"
+			case fe.ErrWindowMs > res.RestoreMs+250:
+				res.Contained = false
+				res.Notes += fmt.Sprintf("availability window %.1fms not bounded by restore %.1fms;",
+					fe.ErrWindowMs, res.RestoreMs)
 			}
 		}
 	}
@@ -848,6 +905,11 @@ type CampaignRow struct {
 	P99Restore float64 `json:",omitempty"`
 	AvgLoopP99 float64 `json:",omitempty"`
 
+	// Frontend columns (SurgeFault only): the user-visible availability
+	// window across trials, in ms.
+	AvgWindow float64 `json:",omitempty"`
+	MaxWindow float64 `json:",omitempty"`
+
 	// Detect and Recov are the full latency distributions (ms); Restore is
 	// the availability-loop restoration distribution.
 	Detect  *stats.HistSnapshot `json:",omitempty"`
@@ -934,6 +996,16 @@ func Aggregate(s Scenario, trials []*TrialResult) *CampaignRow {
 	}
 	if loopN > 0 {
 		row.AvgLoopP99 = loopSum / float64(loopN)
+	}
+	var hw stats.Histogram
+	for _, tr := range trials {
+		if tr.Scenario == SurgeFault && tr.FeWindowMs > 0 {
+			hw.Observe(tr.FeWindowMs)
+		}
+	}
+	if hw.N() > 0 {
+		row.AvgWindow = hw.Mean()
+		row.MaxWindow = hw.Max()
 	}
 	return row
 }

@@ -59,10 +59,16 @@ const (
 	// load, waiting for each to reboot, rejoin, and restore full capacity
 	// before the next kill (pmake).
 	RollingReboot
+	// SurgeFault kills a cell in the middle of the multi-tenant
+	// frontend's burst window and rides the full death → reboot → rejoin
+	// → re-stripe loop while the open-loop arrival stream keeps coming:
+	// the user-visible availability window (first to last degraded or
+	// lost request) must be bounded by the restore time (frontend).
+	SurgeFault
 )
 
 // NumScenarios counts all campaign scenarios, paper rows and extensions.
-const NumScenarios = int(RollingReboot) + 1
+const NumScenarios = int(SurgeFault) + 1
 
 // crashLoopBound is the rejoin-attempt bound CrashLoop trials configure and
 // then verify: the controller must give up after exactly this many attempts.
@@ -93,6 +99,8 @@ func (s Scenario) DefaultTests() int {
 		return 6
 	case RollingReboot:
 		return 4
+	case SurgeFault:
+		return 4
 	}
 	return 0
 }
@@ -103,7 +111,7 @@ func (s Scenario) DefaultTests() int {
 // deaths (only CrashLoop's give-up bound leaves its victim down).
 func (s Scenario) ExpectDeaths() int {
 	switch s {
-	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm, FaultDuringReintegration, RollingReboot:
+	case MsgDrop, MsgDup, MsgCorrupt, FaultStorm, FaultDuringReintegration, RollingReboot, SurgeFault:
 		return 0
 	case DoubleFault, CoordinatorDeath:
 		return 2

@@ -30,8 +30,9 @@ const (
 
 // RPC procedure numbers (range 160-179).
 const (
-	ProcSpawn  rpc.ProcID = 160 + iota // create a process on another cell
-	ProcSignal                         // deliver a signal to a remote group
+	ProcSpawn     rpc.ProcID = 160 + iota // create a process on another cell
+	ProcSignal                            // deliver a signal to a remote group
+	ProcSpawnExec                         // create a detached fresh-image process
 )
 
 // Errors.
@@ -233,6 +234,35 @@ func (pt *Table) Fork(t *sim.Task, p *Process, targetCell int, name string, body
 	return pid, nil
 }
 
+// ForkExec creates a child on targetCell running body with a fresh
+// address space — fork immediately followed by exec. Because the child
+// shares no pages with the parent, the parent's COW leaf is not split
+// (a dispatcher's tree stays shallow no matter how many children it
+// creates) and the parent takes no fault dependency on the child's
+// cell: only resources actually shared propagate faults (§2). The child
+// still records the usual dependency on its parent's cell. This is the
+// dispatch primitive for open-loop frontends that must survive the
+// death of cells they route work to.
+func (pt *Table) ForkExec(t *sim.Task, p *Process, targetCell int, name string, body Body) (int, error) {
+	pt.Sched.System(t, ForkCost+ExecCost)
+	if targetCell == pt.CellID {
+		child := pt.spawn(name, p.Group, p.PID, pt.COW.NewRoot(), body)
+		return child.PID, nil
+	}
+	res, err := pt.EP.Call(t, pt.Sched.Procs[0], targetCell, ProcSpawnExec,
+		&spawnExecArgs{Name: name, Group: p.Group, Parent: p.PID, Body: body},
+		rpc.CallOpts{DataBytes: 192})
+	if err != nil {
+		return 0, err
+	}
+	pid, err := validateSpawnReply(res)
+	if err != nil {
+		return 0, err
+	}
+	pt.Metrics.Counter("proc.remote_forks").Inc()
+	return pid, nil
+}
+
 // validateSpawnReply vets a remote fork's reply. The child PID is an
 // opaque token the child's cell allocated, so shape is all the parent
 // can check; the PID is only ever used as a key back to that cell.
@@ -408,6 +438,15 @@ type spawnArgs struct {
 type spawnReply struct {
 	PID int
 }
+
+// spawnExecArgs drives ProcSpawnExec: no leaf crosses the wire — the
+// child's fresh address space is rooted on its own cell.
+type spawnExecArgs struct {
+	Name   string
+	Group  int
+	Parent int
+	Body   Body
+}
 type signalArgs struct {
 	Group int
 }
@@ -428,6 +467,17 @@ func (pt *Table) validateSpawnArgs(raw any) (*spawnArgs, error) {
 	return args, nil
 }
 
+// validateSpawnExecArgs vets a detached-spawn request from another cell.
+// No leaf crosses this boundary (the child's address space is rooted
+// locally), so shape is the whole attack surface.
+func validateSpawnExecArgs(raw any) (*spawnExecArgs, error) {
+	args, ok := raw.(*spawnExecArgs)
+	if !ok || args.Body == nil || args.Name == "" {
+		return nil, ErrBadArgs
+	}
+	return args, nil
+}
+
 func (pt *Table) registerServices() {
 	pt.EP.Register(ProcSpawn, "proc.spawn", nil,
 		func(t *sim.Task, req *rpc.Request) (any, error) {
@@ -438,6 +488,18 @@ func (pt *Table) registerServices() {
 			pt.Sched.System(t, ForkCost/2)
 			p := pt.spawn(args.Name, args.Group, args.Parent, args.Leaf, args.Body)
 			p.Deps[req.From] = true // child depends on its parent's cell tree
+			return &spawnReply{PID: p.PID}, nil
+		})
+
+	pt.EP.Register(ProcSpawnExec, "proc.spawnexec", nil,
+		func(t *sim.Task, req *rpc.Request) (any, error) {
+			args, err := validateSpawnExecArgs(req.Args)
+			if err != nil {
+				return nil, err
+			}
+			pt.Sched.System(t, ForkCost/2+ExecCost)
+			p := pt.spawn(args.Name, args.Group, args.Parent, pt.COW.NewRoot(), args.Body)
+			p.Deps[req.From] = true // child depends on its parent's cell
 			return &spawnReply{PID: p.PID}, nil
 		})
 

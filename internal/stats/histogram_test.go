@@ -114,3 +114,41 @@ func TestRegistryHist(t *testing.T) {
 		t.Errorf("HistNames = %v", names)
 	}
 }
+
+func TestHistogramMergeAndP999(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 500; i++ {
+		a.Observe(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Observe(float64(i))
+	}
+	a.Merge(&b)
+	if a.N() != 1000 {
+		t.Fatalf("merged N = %d, want 1000", a.N())
+	}
+	if a.Min() != 1 || a.Max() != 1000 {
+		t.Errorf("merged min/max = %v/%v, want 1/1000", a.Min(), a.Max())
+	}
+	if got := a.Quantile(0.999); got < 900 || got > 1001 {
+		t.Errorf("p999 = %v, want within the top bucket", got)
+	}
+	s := a.Snapshot()
+	if s.P999 < 900 || s.P999 > 1001 {
+		t.Errorf("snapshot P999 = %v, want within the top bucket", s.P999)
+	}
+	if s.P999 < s.P99 || s.P99 < s.P50 {
+		t.Errorf("quantiles not monotone: p50=%v p99=%v p999=%v", s.P50, s.P99, s.P999)
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Histogram
+	a.Merge(&empty)
+	if a.N() != 1000 || a.Min() != 1 {
+		t.Errorf("merge of empty changed state: N=%d min=%v", a.N(), a.Min())
+	}
+	// Merging into an empty histogram adopts the source wholesale.
+	empty.Merge(&a)
+	if empty.N() != 1000 || empty.Min() != 1 || empty.Max() != 1000 {
+		t.Errorf("merge into empty: N=%d min=%v max=%v", empty.N(), empty.Min(), empty.Max())
+	}
+}

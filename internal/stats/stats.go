@@ -178,6 +178,32 @@ func (h *Histogram) Observe(v float64) {
 // ObserveTime records a sim.Time sample in microseconds.
 func (h *Histogram) ObserveTime(t sim.Time) { h.Observe(t.Micros()) }
 
+// Merge folds another histogram's samples into h. Bucket counts add
+// exactly, so the merged quantiles are identical to observing both
+// sample streams into one histogram in any order — which is what makes
+// per-cell histograms (each observed from its own shard) safe to merge
+// into one SLO curve after the run.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.n == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.zero += o.zero
+	for _, idx := range o.sortedBuckets() {
+		h.counts[idx] += o.counts[idx]
+	}
+}
+
 // N returns the sample count.
 func (h *Histogram) N() int64 { return h.n }
 
@@ -258,6 +284,7 @@ type HistSnapshot struct {
 	N              int64
 	Mean, Min, Max float64
 	P50, P90, P99  float64
+	P999           float64
 	Buckets        []HistBucket // ascending; <=0 samples as [0,0)
 }
 
@@ -266,6 +293,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{
 		N: h.n, Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
 		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+		P999: h.Quantile(0.999),
 	}
 	if h.zero > 0 {
 		s.Buckets = append(s.Buckets, HistBucket{Count: h.zero})

@@ -57,6 +57,7 @@ type Wax struct {
 
 	// Decisions (for tests and the ablation bench).
 	AllocRetargets int
+	PlaceRetargets int
 	ClockHandKicks int
 	GangGrants     int
 	SwapVictims    []int
@@ -239,6 +240,37 @@ func (w *Wax) applyPolicy(t *sim.Task, deferKicks bool) {
 			}
 		} else {
 			cell.ApplyAllocTargets(nil)
+		}
+	}
+
+	// Placement hint: where a dispatcher should spill work whose natural
+	// home is failed or saturated — the least-loaded live cells first,
+	// process count (then cell id) breaking ties, self excluded per cell.
+	// This is Table 3.4's process-placement policy made visible to the
+	// frontend's open-loop dispatchers.
+	loads := append([]fp(nil), rows...)
+	for i := range loads {
+		loads[i].free = w.view[loads[i].cell].Procs
+	}
+	sort.SliceStable(loads, func(i, j int) bool {
+		if loads[i].free != loads[j].free {
+			return loads[i].free < loads[j].free
+		}
+		return loads[i].cell < loads[j].cell
+	})
+	for _, r := range rows {
+		var spill []int
+		for _, l := range loads {
+			if l.cell == r.cell {
+				continue
+			}
+			spill = append(spill, l.cell)
+			if len(spill) == 3 {
+				break
+			}
+		}
+		if w.h.Cells[r.cell].ApplyPlaceTargets(spill) == nil {
+			w.PlaceRetargets++
 		}
 	}
 

@@ -67,6 +67,34 @@ func TestWaxRetargetsAllocationUnderPressure(t *testing.T) {
 	w.Stop()
 }
 
+func TestWaxInstallsPlacementHints(t *testing.T) {
+	h := testHive()
+	w := Start(h)
+	h.Run(300 * sim.Millisecond)
+	if w.PlaceRetargets == 0 {
+		t.Fatal("Wax never installed placement hints")
+	}
+	for i, c := range h.Cells {
+		if len(c.PlaceTargets) == 0 {
+			t.Fatalf("cell %d got no spill list", i)
+		}
+		seen := map[int]bool{}
+		for _, tc := range c.PlaceTargets {
+			if tc == i {
+				t.Fatalf("cell %d told to spill to itself", i)
+			}
+			if tc < 0 || tc >= len(h.Cells) {
+				t.Fatalf("cell %d has out-of-range spill target %d", i, tc)
+			}
+			if seen[tc] {
+				t.Fatalf("cell %d spill list repeats target %d", i, tc)
+			}
+			seen[tc] = true
+		}
+	}
+	w.Stop()
+}
+
 func TestWaxDiesWithAnyCellAndSupervisorRestarts(t *testing.T) {
 	h := testHive()
 	sup := Supervise(h)
